@@ -1,0 +1,62 @@
+"""Fig. 13: per-iteration training time on the heterogeneous V100+P100 cluster."""
+
+from collections import defaultdict
+
+from repro.experiments import fig13_heterogeneous_cluster
+
+from .conftest import bench_models, bench_planner, bench_scale, gpu_counts_hetero
+
+
+def test_fig13_heterogeneous(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        fig13_heterogeneous_cluster,
+        kwargs={
+            "models": bench_models(),
+            "gpu_counts": gpu_counts_hetero(),
+            "scale": bench_scale(),
+            "planner_config": bench_planner(),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(rows, "Fig. 13 — heterogeneous cluster per-iteration time (ms)")
+
+    by_config = defaultdict(dict)
+    for row in rows:
+        by_config[(row["model"], row["gpus"])][row["system"]] = row
+
+    wins = 0
+    comparisons = 0
+    for (model, gpus), systems in by_config.items():
+        hap = systems["HAP"]["per_iteration_ms"]
+        assert hap is not None and hap > 0
+        baselines = [
+            r["per_iteration_ms"]
+            for name, r in systems.items()
+            if name != "HAP" and r["per_iteration_ms"] is not None
+        ]
+        assert baselines, f"no runnable baseline for {model} at {gpus} GPUs"
+        comparisons += 1
+        if hap <= min(baselines) * 1.03:
+            wins += 1
+        # HAP is never far behind the best baseline.  (Its search space
+        # contains every baseline strategy; the slack covers the approximate
+        # beam search at the small benchmark beam width, which can trail the
+        # hand-restricted DeepSpeed expert-parallel planner on BERT-MoE by a
+        # 10-20% margin at the reduced scale — see EXPERIMENTS.md.)
+        assert hap <= min(baselines) * 1.25, (model, gpus)
+
+    # Paper's headline: HAP consistently matches or outperforms the baselines
+    # on the heterogeneous cluster (see EXPERIMENTS.md for where the margins
+    # are smaller than the paper's under the simulated substrate).
+    assert wins >= comparisons * 0.7
+
+    # DP baselines replicate the full BERT-MoE model and run out of memory.
+    moe_dp = [
+        row
+        for row in rows
+        if row["model"] == "bert_moe" and row["system"] in ("DP-EV", "DP-CP")
+    ]
+    assert any(row["oom"] for row in moe_dp) or all(
+        row["per_iteration_ms"] is not None for row in moe_dp
+    )

@@ -1,0 +1,35 @@
+"""Fig. 15: ablation of HAP's components (Q = synthesizer, B = balancer, C = comm)."""
+
+from collections import defaultdict
+
+from repro.experiments import fig15_ablation
+
+from .conftest import FULL, bench_models, bench_scale
+
+
+def test_fig15_ablation(benchmark, record_rows):
+    models = bench_models() if FULL else ("vgg19", "bert_base")
+    rows = benchmark.pedantic(
+        fig15_ablation,
+        kwargs={
+            "models": models,
+            "num_gpus": 64 if FULL else 16,
+            "scale": bench_scale(),
+            "beam_width": 16 if FULL else 8,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(rows, "Fig. 15 — ablation (throughput relative to full HAP)")
+
+    by_model = defaultdict(dict)
+    for row in rows:
+        by_model[row["model"]][row["config"]] = row["throughput_iter_per_s"]
+
+    for model, configs in by_model.items():
+        assert set(configs) == {"DP-EV", "Q", "Q+B", "Q+B+C"}
+        # Each added component never hurts (within simulator noise), and the
+        # full system is at least competitive with plain DP-EV.
+        assert configs["Q+B"] >= configs["Q"] * 0.93, model
+        assert configs["Q+B+C"] >= configs["Q+B"] * 0.93, model
+        assert configs["Q+B+C"] >= configs["DP-EV"] * 0.9, model

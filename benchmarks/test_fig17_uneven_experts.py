@@ -1,0 +1,37 @@
+"""Fig. 17: BERT-MoE with expert counts that do not divide the device count."""
+
+from repro.experiments import fig17_uneven_experts
+
+from .conftest import FULL, bench_planner
+
+
+def test_fig17_uneven_experts(benchmark, record_rows):
+    expert_counts = (4, 8, 12, 16, 20, 24, 28, 32) if FULL else (4, 6, 8, 10)
+    rows = benchmark.pedantic(
+        fig17_uneven_experts,
+        kwargs={
+            "expert_counts": expert_counts,
+            "tokens_per_expert": 64 if FULL else 32,
+            "hidden_size": 256 if FULL else 64,
+            "num_layers": 2 if FULL else 1,
+            "seq_len": 32 if FULL else 16,
+            "planner_config": bench_planner(),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(rows, "Fig. 17 — uneven placement of experts (2x A100 + 2x P100)")
+
+    # DeepSpeed pads the expert count to a multiple of the device count; HAP
+    # runs the exact count.  Padding shows up as extra experts.
+    padded_cases = [row for row in rows if row["experts"] % 4 != 0]
+    assert padded_cases, "sweep must include an expert count not divisible by 4"
+    for row in padded_cases:
+        assert row["padded_experts"] > row["experts"]
+        # With padded experts plus even placement, DeepSpeed should not beat
+        # HAP's uneven placement on the indivisible points.
+        assert row["hap_ms"] <= row["deepspeed_ms"] * 1.1, row
+
+    # Times grow with the expert count (the token count scales with it).
+    hap_times = [row["hap_ms"] for row in rows]
+    assert hap_times[-1] > hap_times[0]

@@ -1,0 +1,24 @@
+"""Fig. 18: cost-model estimates vs simulated ("actual") per-iteration times."""
+
+from repro.experiments import fig18_cost_model_accuracy
+
+from .conftest import FULL, bench_planner
+
+
+def test_fig18_cost_model_accuracy(benchmark, record_rows):
+    kwargs = {
+        "layer_counts": (2, 4, 6) if FULL else (1, 2),
+        "hidden_sizes": (256, 512, 768) if FULL else (128, 256),
+        "seq_lens": (64, 128) if FULL else (32,),
+        "num_gpus": 16,
+        "planner_config": bench_planner(),
+    }
+    rows = benchmark.pedantic(fig18_cost_model_accuracy, kwargs=kwargs, rounds=1, iterations=1)
+    record_rows(rows, "Fig. 18 — cost model accuracy (estimated vs simulated)")
+
+    # The paper reports a strong linear relationship (Pearson r = 0.970) with
+    # the estimator biased low; the same shape must hold here.
+    pearson = rows[0]["pearson_r"]
+    assert pearson > 0.9
+    underestimates = sum(1 for row in rows if row["estimated_s"] <= row["actual_s"])
+    assert underestimates >= len(rows) * 0.7

@@ -1,0 +1,30 @@
+"""Fig. 19: program-synthesis time as a function of model depth."""
+
+from repro.experiments import fig19_synthesis_time
+
+from .conftest import FULL
+
+
+def test_fig19_synthesis_time(benchmark, record_rows):
+    layer_counts = (1, 2, 4, 8, 12, 16, 20, 24) if FULL else (1, 2, 4, 8)
+    rows = benchmark.pedantic(
+        fig19_synthesis_time,
+        kwargs={
+            "layer_counts": layer_counts,
+            "hidden_size": 384 if FULL else 192,
+            "batch_size": 64 if FULL else 32,
+            "beam_width": 16 if FULL else 8,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(rows, "Fig. 19 — program synthesis time vs ViT depth")
+
+    times = [row["synthesis_seconds"] for row in rows]
+    nodes = [row["graph_nodes"] for row in rows]
+    assert nodes == sorted(nodes)
+    # Synthesis time grows with depth ...
+    assert times[-1] > times[0]
+    # ... and stays in the interactive range the paper reports (seconds, not
+    # hours) even for the deepest configuration benchmarked here.
+    assert times[-1] < 300.0

@@ -1,0 +1,19 @@
+"""Fig. 2: CP vs EV sharding ratios across computation-to-communication ratios."""
+
+from repro.experiments import fig2_sharding_ratio_tradeoff
+
+from .conftest import FULL
+
+
+def test_fig2_cp_vs_ev(benchmark, record_rows):
+    hidden = (256, 512, 1024, 2048, 4096) if FULL else (256, 1024, 4096)
+    rows = benchmark.pedantic(
+        fig2_sharding_ratio_tradeoff, kwargs={"hidden_sizes": hidden}, rounds=1, iterations=1
+    )
+    record_rows(rows, "Fig. 2 — CP vs EV sharding ratios")
+    # Shape check: EV wins in the communication-bound regime, CP wins once the
+    # computation-to-communication ratio is large (the paper's crossover).
+    assert rows[0]["winner"] == "EV"
+    assert rows[-1]["winner"] == "CP"
+    ratios = [row["comp_to_comm_ratio"] for row in rows]
+    assert ratios == sorted(ratios)

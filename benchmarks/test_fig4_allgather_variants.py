@@ -1,0 +1,19 @@
+"""Fig. 4: padded All-Gather vs grouped Broadcast under uneven sharding."""
+
+from repro.experiments import fig4_all_gather_variants
+
+
+def test_fig4_allgather_variants(benchmark, record_rows):
+    rows = benchmark.pedantic(fig4_all_gather_variants, rounds=1, iterations=1)
+    record_rows(rows, "Fig. 4 — All-Gather implementations on a 4 MB tensor")
+    winners = [row["winner"] for row in rows]
+    # Padded All-Gather wins for nearly-even shards; grouped Broadcast wins
+    # under heavy skew; there is exactly one crossover.
+    assert winners[0] == "padded"
+    assert winners[-1] == "grouped"
+    flips = sum(1 for a, b in zip(winners, winners[1:]) if a != b)
+    assert flips == 1
+    padded = [row["padded_all_gather_gbps"] for row in rows]
+    grouped = [row["grouped_broadcast_gbps"] for row in rows]
+    assert padded == sorted(padded, reverse=True)
+    assert max(grouped) - min(grouped) < 1e-6 * max(grouped) + 1e-9

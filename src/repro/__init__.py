@@ -1,0 +1,25 @@
+"""Reproduction of HAP: SPMD DNN training on heterogeneous GPU clusters with
+automated program synthesis (EuroSys 2024).
+
+The top-level package exposes the user-facing API (:func:`repro.hap.hap`,
+analogous to the paper's ``hap.HAP`` entry point) plus the main building
+blocks: the tensor-program IR (:mod:`repro.graph`), the cluster model
+(:mod:`repro.cluster`), the program synthesizer and load balancer
+(:mod:`repro.core`), baselines (:mod:`repro.baselines`) and the experiment
+harness (:mod:`repro.experiments`).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "graph",
+    "autodiff",
+    "runtime",
+    "cluster",
+    "collectives",
+    "core",
+    "models",
+    "baselines",
+    "experiments",
+    "hap",
+]

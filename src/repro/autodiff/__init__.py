@@ -1,0 +1,5 @@
+"""Reverse-mode autodiff over the single-device IR."""
+
+from .backward import TrainingGraphInfo, build_training_graph
+
+__all__ = ["build_training_graph", "TrainingGraphInfo"]

@@ -1,0 +1,231 @@
+"""Baseline planners: DP-EV, DP-CP, DeepSpeed-like and TAG-like.
+
+The baselines reuse HAP's background theory and synthesizer with restricted
+rule sets (see ``SynthesisConfig.force_data_parallel``), so every baseline
+produces a genuine distributed program that can be costed, simulated and even
+executed by the SPMD runtime.  Differences from the real systems that do not
+affect the comparison's shape are documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..cluster.spec import ClusterSpec
+from ..core.config import PlannerConfig, SynthesisConfig
+from ..core.costmodel import CostBreakdown, CostModel
+from ..core.pipeline import HAPPlan, HAPPlanner
+from ..core.program import DistributedProgram
+from ..core.synthesizer import ProgramSynthesizer
+from ..graph.graph import ComputationGraph
+from ..hap import hap as _hap
+
+BASELINE_NAMES = ["DP-EV", "DP-CP", "DeepSpeed", "TAG", "HAP"]
+
+
+@dataclass
+class BaselinePlan:
+    """A baseline's distributed program plus its cost estimate.
+
+    Attributes:
+        name: baseline identifier (one of :data:`BASELINE_NAMES`).
+        program: the distributed program the baseline would execute.
+        ratios: sharding ratios the baseline uses.
+        estimated_time: planner cost-model estimate of the iteration time.
+        memory_per_device: estimated per-device parameter+gradient+optimizer
+            memory in bytes (used to flag out-of-memory configurations).
+        out_of_memory: True if the memory estimate exceeds some device's
+            capacity (the paper reports OOM for DP baselines on BERT-MoE).
+    """
+
+    name: str
+    program: DistributedProgram
+    ratios: List[float]
+    estimated_time: CostBreakdown
+    memory_per_device: List[float] = field(default_factory=list)
+    out_of_memory: bool = False
+
+    @property
+    def flat_ratios(self) -> List[float]:
+        return list(self.ratios)
+
+
+def estimate_memory_per_device(
+    program: DistributedProgram, ratios: Sequence[float], cluster: ClusterSpec
+) -> List[float]:
+    """Per-device memory estimate for parameters, gradients and optimizer state.
+
+    Sharded parameters contribute proportionally to the device's ratio,
+    replicated parameters contribute fully; the total is multiplied by 3 to
+    account for the gradient and one optimizer moment, plus a activation term
+    proportional to the batch shard.
+    """
+    graph = program.graph
+    shardings = program.parameter_shardings()
+    sharded_bytes = sum(
+        p.spec.size_bytes for p in graph.parameters() if shardings.get(p.name) is not None
+    )
+    replicated_bytes = sum(
+        p.spec.size_bytes for p in graph.parameters() if shardings.get(p.name) is None
+    )
+    activation_bytes = graph.activation_bytes()
+    totals = []
+    for j in range(cluster.num_devices):
+        share = ratios[j]
+        params = replicated_bytes + sharded_bytes * share
+        acts = activation_bytes * share * 0.25  # re-materialisation / fusion discount
+        totals.append(3.0 * params + acts)
+    return totals
+
+
+def _run_restricted_planner(
+    graph: ComputationGraph,
+    cluster: ClusterSpec,
+    name: str,
+    synthesis: SynthesisConfig,
+    ratios: Sequence[float],
+) -> BaselinePlan:
+    """Synthesize a program under a restricted theory and fixed ratios."""
+    synthesizer = ProgramSynthesizer(graph, cluster, synthesis)
+    result = synthesizer.synthesize(list(ratios))
+    cost_model = synthesizer.cost_model
+    estimated = cost_model.evaluate(result.program, list(ratios))
+    memory = estimate_memory_per_device(result.program, ratios, cluster)
+    capacities = cluster.device_memory()
+    oom = any(m > cap for m, cap in zip(memory, capacities))
+    return BaselinePlan(
+        name=name,
+        program=result.program,
+        ratios=list(ratios),
+        estimated_time=estimated,
+        memory_per_device=memory,
+        out_of_memory=oom,
+    )
+
+
+def _training_graph(model: ComputationGraph) -> ComputationGraph:
+    from ..autodiff import build_training_graph
+    from ..graph.ops import OpKind
+
+    if any(node.kind is OpKind.OPTIMIZER for node in model):
+        return model
+    return build_training_graph(model).graph
+
+
+def plan_dp_ev(
+    model: ComputationGraph, cluster: ClusterSpec, config: Optional[SynthesisConfig] = None
+) -> BaselinePlan:
+    """PyTorch-DDP data parallelism with even sharding ratios (DP-EV)."""
+    graph = _training_graph(model)
+    synthesis = replace(
+        config or SynthesisConfig(),
+        force_data_parallel=True,
+        expert_parallel_parameters=False,
+        enable_sfb=False,
+        enable_grouped_all_gather=False,
+    )
+    return _run_restricted_planner(graph, cluster, "DP-EV", synthesis, cluster.even_ratios())
+
+
+def plan_dp_cp(
+    model: ComputationGraph, cluster: ClusterSpec, config: Optional[SynthesisConfig] = None
+) -> BaselinePlan:
+    """Data parallelism with computation-proportional ratios (DP-CP)."""
+    graph = _training_graph(model)
+    synthesis = replace(
+        config or SynthesisConfig(),
+        force_data_parallel=True,
+        expert_parallel_parameters=False,
+        enable_sfb=False,
+        enable_grouped_all_gather=False,
+    )
+    return _run_restricted_planner(
+        graph, cluster, "DP-CP", synthesis, cluster.proportional_ratios()
+    )
+
+
+def plan_deepspeed_like(
+    model: ComputationGraph, cluster: ClusterSpec, config: Optional[SynthesisConfig] = None
+) -> BaselinePlan:
+    """DeepSpeed-style baseline: ZeRO data parallelism + expert parallelism.
+
+    Dense parameters are replicated with gradient all-reduce; expert (rank-3)
+    parameters are sharded evenly across devices on the expert dimension, as
+    DeepSpeed-MoE does.  Expert-count padding for indivisible expert counts is
+    handled by the experiment harness, which builds the model with the padded
+    expert count for this baseline (Sec. 7.6).
+    """
+    graph = _training_graph(model)
+    synthesis = replace(
+        config or SynthesisConfig(),
+        force_data_parallel=True,
+        expert_parallel_parameters=True,
+        enable_sfb=False,
+        enable_grouped_all_gather=False,
+    )
+    return _run_restricted_planner(
+        graph, cluster, "DeepSpeed", synthesis, cluster.even_ratios()
+    )
+
+
+def plan_tag_like(
+    model: ComputationGraph, cluster: ClusterSpec, config: Optional[SynthesisConfig] = None
+) -> BaselinePlan:
+    """TAG-style baseline: data parallelism with automatic SFB.
+
+    TAG additionally performs inter-op placement on small clusters; that part
+    is out of scope here (see DESIGN.md), so this baseline captures TAG's
+    communication optimisation (sufficient factor broadcasting and gradient
+    aggregation choice) on top of even data parallelism.
+    """
+    graph = _training_graph(model)
+    synthesis = replace(
+        config or SynthesisConfig(),
+        force_data_parallel=True,
+        expert_parallel_parameters=False,
+        enable_sfb=True,
+        enable_grouped_all_gather=False,
+    )
+    return _run_restricted_planner(graph, cluster, "TAG", synthesis, cluster.even_ratios())
+
+
+def plan_hap(
+    model: ComputationGraph, cluster: ClusterSpec, config: Optional[PlannerConfig] = None
+) -> BaselinePlan:
+    """Run full HAP and wrap its plan in the common baseline container."""
+    plan: HAPPlan = _hap(model, cluster, config)
+    memory = estimate_memory_per_device(plan.program, plan.flat_ratios, cluster)
+    capacities = cluster.device_memory()
+    return BaselinePlan(
+        name="HAP",
+        program=plan.program,
+        ratios=plan.flat_ratios,
+        estimated_time=plan.estimated_time,
+        memory_per_device=memory,
+        out_of_memory=any(m > cap for m, cap in zip(memory, capacities)),
+    )
+
+
+_PLANNERS = {
+    "DP-EV": plan_dp_ev,
+    "DP-CP": plan_dp_cp,
+    "DeepSpeed": plan_deepspeed_like,
+    "TAG": plan_tag_like,
+}
+
+
+def plan_baseline(
+    name: str,
+    model: ComputationGraph,
+    cluster: ClusterSpec,
+    config=None,
+) -> BaselinePlan:
+    """Plan any baseline (or HAP) by name."""
+    if name == "HAP":
+        return plan_hap(model, cluster, config)
+    try:
+        planner = _PLANNERS[name]
+    except KeyError:
+        raise KeyError(f"unknown baseline {name!r}; known: {BASELINE_NAMES}") from None
+    return planner(model, cluster, config)

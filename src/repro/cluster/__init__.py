@@ -1,0 +1,34 @@
+"""Cluster substrate: device catalogue, cluster specs and simulated profiling."""
+
+from .device import DEVICE_CATALOG, GB, DeviceType, Machine, VirtualDevice, device_type
+from .spec import (
+    ClusterSpec,
+    NetworkSpec,
+    a100_p100_pair,
+    a100_pair,
+    custom_cluster,
+    heterogeneous_testbed,
+    homogeneous_testbed,
+    p100_a100_mixed,
+)
+from .profiler import ClusterProfile, LinearCommModel, SimulatedProfiler
+
+__all__ = [
+    "DEVICE_CATALOG",
+    "GB",
+    "DeviceType",
+    "Machine",
+    "VirtualDevice",
+    "device_type",
+    "ClusterSpec",
+    "NetworkSpec",
+    "heterogeneous_testbed",
+    "homogeneous_testbed",
+    "a100_p100_pair",
+    "a100_pair",
+    "p100_a100_mixed",
+    "custom_cluster",
+    "ClusterProfile",
+    "LinearCommModel",
+    "SimulatedProfiler",
+]

@@ -1,0 +1,122 @@
+"""Simulated profiling of devices and collectives.
+
+The paper profiles (i) flops-per-second of every device type with a matmul
+micro-benchmark and (ii) latency/bandwidth of every collective primitive on
+the actual cluster, then fits a linear model used by the cost estimator
+(Sec. 3.2).  Without hardware we *simulate* the same procedure: the "measured"
+samples are produced by the analytic collective cost model plus multiplicative
+noise, and the same least-squares fit the paper uses recovers latency and
+bandwidth.  This keeps the profiling code path (sampling, fitting, writing a
+profile consumed by the synthesizer) identical in structure to the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..collectives.cost import CollectiveCostModel, CollectiveKind
+from .spec import ClusterSpec
+
+
+@dataclass(frozen=True)
+class LinearCommModel:
+    """Fitted ``time = latency + bytes / bandwidth`` model for one collective."""
+
+    kind: CollectiveKind
+    latency: float
+    bandwidth: float
+
+    def time(self, nbytes: float) -> float:
+        """Predicted execution time for ``nbytes`` of payload."""
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclass
+class ClusterProfile:
+    """The complete profile consumed by HAP's cost model.
+
+    Attributes:
+        device_flops: sustained flops per virtual device, as profiled.
+        comm_models: per-collective fitted linear model.
+    """
+
+    device_flops: List[float]
+    comm_models: Dict[CollectiveKind, LinearCommModel] = field(default_factory=dict)
+
+    def comm_time(self, kind: CollectiveKind, nbytes: float) -> float:
+        """Predicted time of a collective on the profiled cluster."""
+        return self.comm_models[kind].time(nbytes)
+
+
+class SimulatedProfiler:
+    """Runs the (simulated) micro-benchmarks of ``profiler.py`` in the paper.
+
+    Args:
+        cluster: the cluster to profile.
+        noise: multiplicative noise applied to each simulated measurement,
+            mimicking run-to-run variance on a real cluster.
+        seed: RNG seed for reproducibility.
+    """
+
+    def __init__(self, cluster: ClusterSpec, noise: float = 0.03, seed: int = 0) -> None:
+        self.cluster = cluster
+        self.noise = noise
+        self.rng = np.random.default_rng(seed)
+        self._cost_model = CollectiveCostModel(cluster)
+
+    # -- device profiling -------------------------------------------------------
+    def profile_device_flops(self, trials: int = 5) -> List[float]:
+        """Per-virtual-device sustained flops with simulated measurement noise."""
+        flops = []
+        for device in self.cluster.virtual_devices:
+            samples = [
+                device.flops * float(self.rng.normal(1.0, self.noise)) for _ in range(trials)
+            ]
+            flops.append(float(np.median(samples)))
+        return flops
+
+    # -- collective profiling ----------------------------------------------------
+    def profile_collective(
+        self,
+        kind: CollectiveKind,
+        sizes: Optional[Sequence[int]] = None,
+        trials: int = 3,
+    ) -> LinearCommModel:
+        """Fit a latency/bandwidth model from simulated measurements.
+
+        The fitting procedure (ordinary least squares of time against payload
+        bytes) is the one described in Sec. 3.2; the measurements come from
+        the analytic collective model plus noise.
+        """
+        if sizes is None:
+            sizes = [2 ** p for p in range(16, 28, 2)]  # 64 KiB ... 128 MiB
+        xs: List[float] = []
+        ys: List[float] = []
+        even = self.cluster.even_ratios()
+        for size in sizes:
+            for _ in range(trials):
+                true_time = self._cost_model.collective_time(kind, float(size), even)
+                measured = true_time * float(self.rng.normal(1.0, self.noise))
+                xs.append(float(size))
+                ys.append(max(measured, 1e-9))
+        slope, intercept = np.polyfit(np.asarray(xs), np.asarray(ys), 1)
+        slope = max(float(slope), 1e-15)
+        intercept = max(float(intercept), 0.0)
+        return LinearCommModel(kind=kind, latency=intercept, bandwidth=1.0 / slope)
+
+    def profile(self) -> ClusterProfile:
+        """Run all micro-benchmarks and assemble a :class:`ClusterProfile`."""
+        comm_models = {
+            kind: self.profile_collective(kind)
+            for kind in (
+                CollectiveKind.ALL_REDUCE,
+                CollectiveKind.ALL_GATHER,
+                CollectiveKind.REDUCE_SCATTER,
+                CollectiveKind.ALL_TO_ALL,
+                CollectiveKind.BROADCAST,
+            )
+        }
+        return ClusterProfile(device_flops=self.profile_device_flops(), comm_models=comm_models)

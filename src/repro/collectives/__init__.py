@@ -1,0 +1,24 @@
+"""Collective communication: analytic cost models and functional emulation."""
+
+from .cost import (
+    MEMCPY_BANDWIDTH,
+    CollectiveCostModel,
+    CollectiveKind,
+    CommRequest,
+    max_ratio,
+)
+from .functional import all_gather, all_reduce, all_to_all, broadcast, reduce_scatter, split
+
+__all__ = [
+    "CollectiveCostModel",
+    "CollectiveKind",
+    "CommRequest",
+    "MEMCPY_BANDWIDTH",
+    "max_ratio",
+    "all_gather",
+    "all_reduce",
+    "all_to_all",
+    "broadcast",
+    "reduce_scatter",
+    "split",
+]

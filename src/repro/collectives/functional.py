@@ -1,0 +1,104 @@
+"""Functional (numpy) implementations of the collective primitives.
+
+The SPMD runtime (:mod:`repro.runtime.spmd`) emulates ``m`` ranks inside one
+process: every rank holds its local shard/replica as a numpy array, and a
+collective is a pure function from the list of per-rank inputs to the list of
+per-rank outputs.  These implementations are the semantic ground truth used to
+verify that synthesized distributed programs are equivalent to the
+single-device program.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def _check_world(tensors: Sequence[np.ndarray]) -> int:
+    if not tensors:
+        raise ValueError("collective requires at least one participant")
+    return len(tensors)
+
+
+def all_gather(shards: Sequence[np.ndarray], dim: int) -> List[np.ndarray]:
+    """Concatenate per-rank shards along ``dim``; every rank gets the result.
+
+    Shards may have unequal sizes along ``dim`` (HAP's uneven sharding); this
+    corresponds to the grouped-Broadcast implementation, while NCCL's padded
+    implementation produces the same value after trimming.
+    """
+    _check_world(shards)
+    full = np.concatenate([np.asarray(s) for s in shards], axis=dim)
+    return [full.copy() for _ in shards]
+
+
+def all_reduce(replicas: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Element-wise sum of per-rank replicas; every rank gets the sum."""
+    _check_world(replicas)
+    total = np.sum(np.stack([np.asarray(r) for r in replicas], axis=0), axis=0)
+    return [total.copy() for _ in replicas]
+
+
+def reduce_scatter(
+    replicas: Sequence[np.ndarray], dim: int, shard_sizes: Sequence[int]
+) -> List[np.ndarray]:
+    """All-Reduce followed by sharding the result along ``dim``.
+
+    ``shard_sizes`` gives each rank's slice length along ``dim`` and must sum
+    to the full dimension size.
+    """
+    world = _check_world(replicas)
+    if len(shard_sizes) != world:
+        raise ValueError("shard_sizes must have one entry per rank")
+    total = np.sum(np.stack([np.asarray(r) for r in replicas], axis=0), axis=0)
+    if sum(shard_sizes) != total.shape[dim]:
+        raise ValueError(
+            f"shard sizes {tuple(shard_sizes)} do not sum to dimension {total.shape[dim]}"
+        )
+    return split(total, dim, shard_sizes)
+
+
+def all_to_all(
+    shards: Sequence[np.ndarray],
+    src_dim: int,
+    dst_dim: int,
+    dst_sizes: Sequence[int],
+) -> List[np.ndarray]:
+    """Reshard a tensor from ``src_dim`` sharding to ``dst_dim`` sharding.
+
+    Functionally equivalent to gathering the full tensor and re-splitting it;
+    a real implementation exchanges only the off-diagonal blocks.
+    """
+    world = _check_world(shards)
+    if len(dst_sizes) != world:
+        raise ValueError("dst_sizes must have one entry per rank")
+    full = np.concatenate([np.asarray(s) for s in shards], axis=src_dim)
+    return split(full, dst_dim, dst_sizes)
+
+
+def broadcast(value: np.ndarray, world: int) -> List[np.ndarray]:
+    """Replicate one rank's tensor to all ranks."""
+    if world < 1:
+        raise ValueError("world size must be >= 1")
+    arr = np.asarray(value)
+    return [arr.copy() for _ in range(world)]
+
+
+def split(full: np.ndarray, dim: int, shard_sizes: Sequence[int]) -> List[np.ndarray]:
+    """Split a full tensor into per-rank shards along ``dim``.
+
+    A zero entry in ``shard_sizes`` produces an empty shard for that rank.
+    """
+    if sum(shard_sizes) != full.shape[dim]:
+        raise ValueError(
+            f"shard sizes {tuple(shard_sizes)} do not sum to dimension {full.shape[dim]}"
+        )
+    out: List[np.ndarray] = []
+    offset = 0
+    for size in shard_sizes:
+        index = [slice(None)] * full.ndim
+        index[dim] = slice(offset, offset + size)
+        out.append(np.ascontiguousarray(full[tuple(index)]))
+        offset += size
+    return out

@@ -1,0 +1,48 @@
+"""HAP core: properties, background theory, A* synthesis, LP load balancing."""
+
+from .config import LoadBalancerConfig, PlannerConfig, SynthesisConfig
+from .costmodel import CostBreakdown, CostModel, StageCoefficients
+from .instructions import CommInstruction, CompInstruction, Instruction, is_source_op
+from .load_balancer import LoadBalanceResult, LoadBalancer, integer_shard_sizes
+from .pipeline import HAPPlan, HAPPlanner, OptimizationRound
+from .program import DistributedProgram, Stage
+from .properties import DistState, Property, StateKind, partial, replicated, sharded
+from .rules import Rule, Theory, Variant, build_theory, moe_restricted_refs, node_variants
+from .synthesizer import ProgramSynthesizer, SynthesisError, SynthesisResult, synthesize_program
+
+__all__ = [
+    "SynthesisConfig",
+    "LoadBalancerConfig",
+    "PlannerConfig",
+    "CostModel",
+    "CostBreakdown",
+    "StageCoefficients",
+    "CompInstruction",
+    "CommInstruction",
+    "Instruction",
+    "is_source_op",
+    "LoadBalancer",
+    "LoadBalanceResult",
+    "integer_shard_sizes",
+    "HAPPlanner",
+    "HAPPlan",
+    "OptimizationRound",
+    "DistributedProgram",
+    "Stage",
+    "DistState",
+    "Property",
+    "StateKind",
+    "replicated",
+    "partial",
+    "sharded",
+    "Rule",
+    "Theory",
+    "Variant",
+    "build_theory",
+    "node_variants",
+    "moe_restricted_refs",
+    "ProgramSynthesizer",
+    "SynthesisResult",
+    "SynthesisError",
+    "synthesize_program",
+]

@@ -1,0 +1,102 @@
+"""Configuration of the HAP planner (synthesizer + load balancer)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class SynthesisConfig:
+    """Knobs of the program synthesizer and its background theory.
+
+    The defaults correspond to the full HAP system; the ablation study
+    (Fig. 15) switches individual features off.
+
+    Attributes:
+        enable_sfb: include the duplicated-computation MatMul rule that makes
+            sufficient factor broadcasting reachable (Sec. 4.4).
+        enable_grouped_all_gather: include the grouped-Broadcast
+            implementation of All-Gather as an alternative instruction.
+        enable_replicated_sources: allow ``Placeholder()``/``Parameter()``
+            (fully replicated) besides the sharded variants.
+        min_shard_dim_size: tensor dimensions smaller than this are never
+            considered as sharding dimensions.
+        max_search_steps: hard cap on A* iterations (safety valve).
+        beam_width: number of candidate distribution states kept per level by
+            the beam search (and cap on the open list of the A* search);
+            ``None`` keeps every candidate.
+        search_strategy: ``"beam"`` (default) runs a level-synchronised beam
+            search — one level per single-device node, keeping the
+            ``beam_width`` cheapest distribution states per level; this is
+            what makes Python-side synthesis scale to the full benchmark
+            models.  ``"astar"`` runs the priority-queue search of Fig. 10.
+        follow_topological_order: when True (the default) computation nodes
+            are emulated following one fixed topological order of the
+            single-device graph and communication rules are only applied when
+            they enable the next node.  This is the reproduction's analogue of
+            the paper's search-time optimisations for large models: it
+            preserves the per-node sharding/communication choices (the
+            decisions that matter for cost) while removing the combinatorial
+            freedom of interleaving unrelated instructions.  Setting it to
+            False recovers the unrestricted search of Fig. 10, which is only
+            practical for small graphs in pure Python.
+        use_subsumption_pruning: prune programs whose property set is a subset
+            of a cheaper program's (lines 9-14 of Fig. 10) in addition to the
+            exact-state dominance check.
+    """
+
+    enable_sfb: bool = True
+    enable_grouped_all_gather: bool = True
+    enable_replicated_sources: bool = True
+    min_shard_dim_size: int = 2
+    max_search_steps: int = 2_000_000
+    beam_width: Optional[int] = 32
+    follow_topological_order: bool = True
+    use_subsumption_pruning: bool = False
+    search_strategy: str = "beam"
+    # Baseline-emulation switches (used by repro.baselines, not by HAP itself):
+    # restrict the theory so only data-parallel programs exist, optionally with
+    # expert parallelism for rank-3 (expert) parameters.
+    force_data_parallel: bool = False
+    expert_parallel_parameters: bool = False
+
+
+@dataclass
+class LoadBalancerConfig:
+    """Knobs of the LP-based sharding-ratio optimiser (Sec. 5).
+
+    Attributes:
+        num_segments: number of model segments that receive independent
+            sharding ratios (Sec. 5.2); 1 reproduces the base case of Sec. 5.1.
+        respect_memory: add per-device memory-capacity constraints to the LP.
+        solver_method: scipy ``linprog`` method.
+    """
+
+    num_segments: int = 1
+    respect_memory: bool = False
+    solver_method: str = "highs"
+
+
+@dataclass
+class PlannerConfig:
+    """Configuration of the full iterative optimisation (Sec. 3.1).
+
+    Attributes:
+        max_rounds: maximum number of (Q, B) alternation rounds.
+        convergence_tolerance: relative cost improvement below which the
+            alternation stops.
+        synthesis: synthesizer configuration.
+        load_balancer: load-balancer configuration.
+        enable_load_balancer: if False the initial (computation-proportional)
+            ratios are kept — the "Q"-only ablation point.
+        enable_synthesizer: if False a pure data-parallel program is used —
+            the "B"-only ablation point.
+    """
+
+    max_rounds: int = 4
+    convergence_tolerance: float = 1e-3
+    synthesis: SynthesisConfig = field(default_factory=SynthesisConfig)
+    load_balancer: LoadBalancerConfig = field(default_factory=LoadBalancerConfig)
+    enable_load_balancer: bool = True
+    enable_synthesizer: bool = True

@@ -1,0 +1,260 @@
+"""Linear cost model for distributed programs (Sec. 3.2 of the paper).
+
+A program is split into synchronisation stages; stage ``i`` costs
+``comm_i(B) + max_j comp_ij(B_j)``.  Per-device computation time is linear in
+the device's sharding ratio; communication time is linear in the *largest*
+ratio (padded collectives are bottlenecked by the largest shard).  The same
+model serves three purposes:
+
+* scoring candidate programs during A* synthesis,
+* evaluating ``t(Q, B)`` in the outer iterative optimisation, and
+* producing the linear coefficients consumed by the LP load balancer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..cluster.spec import ClusterSpec
+from ..collectives.cost import CollectiveCostModel, CollectiveKind
+from ..graph.graph import ComputationGraph
+from .instructions import CommInstruction, CompInstruction, Instruction
+from .program import DistributedProgram
+
+
+@dataclass
+class StageCoefficients:
+    """Linear description of one stage, used by the LP load balancer.
+
+    Stage time ``= comm_const + comm_slope * max_j(B_j)
+    + max_j (comp_slope[j] * B_j + comp_const[j])``.
+
+    Attributes:
+        segment: index of the model segment this stage belongs to.
+        comm_const: communication time independent of the sharding ratios.
+        comm_slope: communication time per unit of the largest ratio.
+        comp_slope: per-device computation seconds per unit sharding ratio.
+        comp_const: per-device computation seconds independent of the ratio.
+    """
+
+    segment: int
+    comm_const: float
+    comm_slope: float
+    comp_slope: List[float]
+    comp_const: List[float]
+
+    def time(self, ratios: Sequence[float]) -> float:
+        """Evaluate the stage time for concrete sharding ratios."""
+        comm = self.comm_const + self.comm_slope * max(ratios)
+        comp = max(s * r + c for s, r, c in zip(self.comp_slope, ratios, self.comp_const))
+        return comm + comp
+
+
+@dataclass
+class CostBreakdown:
+    """Estimated per-iteration time of a program, with per-stage detail."""
+
+    total: float
+    communication: float
+    computation: float
+    stage_times: List[float] = field(default_factory=list)
+
+    def __float__(self) -> float:  # pragma: no cover - convenience
+        return self.total
+
+
+class CostModel:
+    """Estimates ``t(Q, B)`` for distributed programs on a cluster."""
+
+    def __init__(self, graph: ComputationGraph, cluster: ClusterSpec) -> None:
+        self.graph = graph
+        self.cluster = cluster
+        self.devices = cluster.virtual_devices
+        self.num_devices = cluster.num_devices
+        self.collectives = CollectiveCostModel(cluster)
+        self._flops_cache: Dict[str, float] = {}
+        self._bytes_cache: Dict[str, int] = {}
+        self._device_flops = cluster.device_flops()
+
+    # -- per-node cached quantities ------------------------------------------
+    def node_flops(self, name: str) -> float:
+        if name not in self._flops_cache:
+            self._flops_cache[name] = self.graph.node_flops(name)
+        return self._flops_cache[name]
+
+    def ref_bytes(self, name: str) -> int:
+        if name not in self._bytes_cache:
+            self._bytes_cache[name] = self.graph[name].spec.size_bytes
+        return self._bytes_cache[name]
+
+    # -- per-instruction costs --------------------------------------------------
+    def comp_times(self, instr: CompInstruction, ratios: Sequence[float]) -> List[float]:
+        """Per-device execution time of one computation instruction."""
+        flops = self.node_flops(instr.node)
+        times: List[float] = []
+        for j, device in enumerate(self.devices):
+            share = ratios[j] if instr.flops_sharded else 1.0
+            t = flops * share / self._device_flops[j]
+            t += self._intra_sync_time(instr, j, share)
+            times.append(t)
+        return times
+
+    def _intra_sync_time(self, instr: CompInstruction, device_idx: int, share: float) -> float:
+        """Intra-machine gradient synchronisation for machine-level devices.
+
+        When a virtual device is a whole machine, data parallelism runs inside
+        it and the gradients consumed by parameter updates must be all-reduced
+        over the machine's GPUs (Sec. 3.2 / Sec. 6).
+        """
+        device = self.devices[device_idx]
+        if device.num_gpus <= 1 or instr.op != "sgd_update":
+            return 0.0
+        grad_bytes = self.ref_bytes(instr.node) * share
+        g = device.num_gpus
+        return 2.0 * (g - 1) / g * grad_bytes / device.intra_bandwidth
+
+    def comm_time(self, instr: CommInstruction, ratios: Sequence[float]) -> float:
+        """Execution time of one collective instruction."""
+        nbytes = float(self.ref_bytes(instr.input.ref))
+        time = self.collectives.collective_time(instr.kind, nbytes, ratios)
+        time += self._intra_collective_overhead(nbytes, ratios)
+        return time
+
+    def _intra_collective_overhead(self, nbytes: float, ratios: Sequence[float]) -> float:
+        """Gather/scatter step inside machine-level virtual devices (Sec. 6)."""
+        overhead = 0.0
+        largest = nbytes * max(ratios)
+        for device in self.devices:
+            if device.num_gpus > 1:
+                g = device.num_gpus
+                overhead = max(
+                    overhead, 2.0 * (g - 1) / g * largest / device.intra_bandwidth
+                )
+        return overhead
+
+    # -- whole-program evaluation -------------------------------------------------
+    def evaluate(
+        self,
+        program: DistributedProgram,
+        ratios: Sequence[float],
+        ratios_per_segment: Optional[Mapping[int, Sequence[float]]] = None,
+        segment_of: Optional[Mapping[str, int]] = None,
+    ) -> CostBreakdown:
+        """Estimated per-iteration time ``t(Q, B)``.
+
+        Args:
+            program: the distributed program.
+            ratios: global sharding ratios (one entry per virtual device).
+            ratios_per_segment: optional per-segment ratios overriding
+                ``ratios`` for stages assigned to that segment.
+            segment_of: node-name -> segment-index map (required when
+                ``ratios_per_segment`` is given).
+        """
+        total_comm = 0.0
+        total_comp = 0.0
+        stage_times: List[float] = []
+        for coeff in self.stage_coefficients(program, segment_of):
+            seg_ratios = list(ratios)
+            if ratios_per_segment is not None and coeff.segment in ratios_per_segment:
+                seg_ratios = list(ratios_per_segment[coeff.segment])
+            comm = coeff.comm_const + coeff.comm_slope * max(seg_ratios)
+            comp = max(
+                s * r + c for s, r, c in zip(coeff.comp_slope, seg_ratios, coeff.comp_const)
+            )
+            total_comm += comm
+            total_comp += comp
+            stage_times.append(comm + comp)
+        return CostBreakdown(
+            total=total_comm + total_comp,
+            communication=total_comm,
+            computation=total_comp,
+            stage_times=stage_times,
+        )
+
+    # -- LP-facing linearisation ---------------------------------------------------
+    def comm_linear(self, instr: CommInstruction) -> Tuple[float, float]:
+        """(const, slope) of a collective's time as a function of max ratio.
+
+        The collective cost model is piecewise linear in the largest sharding
+        ratio; we recover the line exactly by evaluating it at the even ratio
+        (``1/m``) and at ``1`` (all data on one device).
+        """
+        n = self.num_devices
+        even = [1.0 / n] * n
+        skew = [1.0] + [0.0] * (n - 1)
+        t_even = self.comm_time(instr, even)
+        t_skew = self.comm_time(instr, skew)
+        if n == 1:
+            return t_even, 0.0
+        slope = (t_skew - t_even) / (1.0 - 1.0 / n)
+        const = t_even - slope / n
+        return const, slope
+
+    def comp_linear(self, instr: CompInstruction) -> Tuple[List[float], List[float]]:
+        """Per-device (slope, const) of a computation instruction's time."""
+        flops = self.node_flops(instr.node)
+        slopes: List[float] = []
+        consts: List[float] = []
+        for j, device in enumerate(self.devices):
+            base = flops / self._device_flops[j]
+            intra = 0.0
+            if device.num_gpus > 1 and instr.op == "sgd_update":
+                g = device.num_gpus
+                intra = 2.0 * (g - 1) / g * self.ref_bytes(instr.node) / device.intra_bandwidth
+            if instr.flops_sharded:
+                slopes.append(base + intra)
+                consts.append(0.0)
+            else:
+                slopes.append(0.0)
+                consts.append(base + intra)
+        return slopes, consts
+
+    def stage_coefficients(
+        self,
+        program: DistributedProgram,
+        segment_of: Optional[Mapping[str, int]] = None,
+    ) -> List[StageCoefficients]:
+        """Linear coefficients of every stage of a program."""
+        coeffs: List[StageCoefficients] = []
+        m = self.num_devices
+        for stage in program.stages():
+            comm_const, comm_slope = 0.0, 0.0
+            if stage.comm is not None:
+                comm_const, comm_slope = self.comm_linear(stage.comm)
+            comp_slope = [0.0] * m
+            comp_const = [0.0] * m
+            segment = 0
+            for comp in stage.comps:
+                if isinstance(comp, CommInstruction):
+                    continue  # local slice pseudo-collectives cost ~nothing
+                slopes, consts = self.comp_linear(comp)
+                for j in range(m):
+                    comp_slope[j] += slopes[j]
+                    comp_const[j] += consts[j]
+            if segment_of is not None:
+                nodes = [c.node for c in stage.comps]
+                if stage.comm is not None:
+                    nodes.append(stage.comm.input.ref)
+                segments = [segment_of.get(n, 0) for n in nodes]
+                segment = max(set(segments), key=segments.count) if segments else 0
+            coeffs.append(
+                StageCoefficients(
+                    segment=segment,
+                    comm_const=comm_const,
+                    comm_slope=comm_slope,
+                    comp_slope=comp_slope,
+                    comp_const=comp_const,
+                )
+            )
+        return coeffs
+
+    # -- search-support quantities ---------------------------------------------------
+    def ideal_node_time(self, name: str) -> float:
+        """Lower bound on a node's contribution assuming perfect balance.
+
+        Used as the admissible heuristic ``ecost`` of the A* search: the
+        node's flops spread over the aggregate flops of the whole cluster,
+        with infinite bandwidth.
+        """
+        return self.node_flops(name) / self.cluster.total_flops()

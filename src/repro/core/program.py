@@ -1,0 +1,104 @@
+"""Distributed-program container produced by the synthesizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..graph.graph import ComputationGraph
+from .instructions import CommInstruction, CompInstruction, Instruction
+from .properties import Property
+
+
+@dataclass
+class Stage:
+    """One synchronisation stage (Sec. 3.2): a collective followed by compute.
+
+    The first stage of a program has no leading collective.  ``comps`` may
+    also contain local ``slice`` pseudo-collectives, which cost (almost)
+    nothing and do not synchronise devices.
+    """
+
+    comm: Optional[CommInstruction]
+    comps: List[Instruction] = field(default_factory=list)
+
+    @property
+    def instructions(self) -> List[Instruction]:
+        out: List[Instruction] = []
+        if self.comm is not None:
+            out.append(self.comm)
+        out.extend(self.comps)
+        return out
+
+
+@dataclass
+class DistributedProgram:
+    """A complete distributed program ``Q``.
+
+    Attributes:
+        graph: the single-device training graph this program emulates.
+        instructions: the instruction sequence, in execution order.
+        properties: the final property set ``P(Q)``.
+        num_devices: number of virtual devices the program runs on.
+    """
+
+    graph: ComputationGraph
+    instructions: List[Instruction]
+    properties: FrozenSet[Property]
+    num_devices: int
+
+    # -- structure -------------------------------------------------------------
+    def stages(self) -> List[Stage]:
+        """Split the instruction sequence into synchronisation stages."""
+        stages: List[Stage] = [Stage(comm=None)]
+        for instr in self.instructions:
+            if isinstance(instr, CommInstruction) and instr.synchronises:
+                stages.append(Stage(comm=instr))
+            else:
+                stages[-1].comps.append(instr)
+        return stages
+
+    @property
+    def num_communications(self) -> int:
+        """Number of collective instructions in the program."""
+        return sum(1 for i in self.instructions if i.is_communication)
+
+    @property
+    def num_computations(self) -> int:
+        """Number of computation instructions in the program."""
+        return len(self.instructions) - self.num_communications
+
+    def communication_kinds(self) -> Dict[str, int]:
+        """Histogram of collective kinds used by the program."""
+        hist: Dict[str, int] = {}
+        for instr in self.instructions:
+            if isinstance(instr, CommInstruction):
+                hist[instr.kind.value] = hist.get(instr.kind.value, 0) + 1
+        return hist
+
+    def sharding_of(self, ref: str) -> List[Property]:
+        """All properties established for a reference tensor."""
+        return sorted((p for p in self.properties if p.ref == ref), key=str)
+
+    def parameter_shardings(self) -> Dict[str, Optional[int]]:
+        """Sharding dimension chosen for each parameter (None = replicated)."""
+        out: Dict[str, Optional[int]] = {}
+        for instr in self.instructions:
+            if isinstance(instr, CompInstruction) and instr.op == "parameter":
+                out[instr.node] = instr.output.state.dim if instr.output.state.is_sharded else None
+        return out
+
+    def describe(self) -> str:
+        """Readable listing of the program, stage by stage."""
+        lines = [
+            f"DistributedProgram for {self.graph.name!r}: "
+            f"{self.num_computations} compute + {self.num_communications} collective instructions"
+        ]
+        for idx, stage in enumerate(self.stages()):
+            lines.append(f"-- stage {idx} --")
+            for instr in stage.instructions:
+                lines.append(f"  {instr.describe()}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.instructions)

@@ -1,0 +1,108 @@
+"""Distributed-tensor properties (the vocabulary of the background theory).
+
+Following Sec. 4.2 of the paper, the semantics of a distributed program are a
+set of *properties* of the form ``e | I``: executing instruction ``I`` on the
+distributed tensor recovers the reference tensor ``e`` of the single-device
+graph on every device.  Exactly three property shapes arise:
+
+* ``e | Identity``      — every device holds a full replica of ``e``;
+* ``e | All-Gather(d)`` — every device holds a shard of ``e`` along dim ``d``;
+* ``e | All-Reduce``    — every device holds a partial value whose sum is ``e``.
+
+We encode them as a :class:`DistState` (replicated / sharded(d) / partial)
+attached to a reference-tensor name, the pair being a :class:`Property`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Tuple
+
+
+class StateKind(Enum):
+    """How a distributed tensor relates to its reference tensor."""
+
+    REPLICATED = "replicated"  # e | Identity
+    SHARDED = "sharded"        # e | All-Gather(dim)
+    PARTIAL = "partial"        # e | All-Reduce
+
+
+@dataclass(frozen=True)
+class DistState:
+    """Distribution state of one tensor (kind + optional shard dimension)."""
+
+    kind: StateKind
+    dim: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is StateKind.SHARDED and (self.dim is None or self.dim < 0):
+            raise ValueError("sharded state requires a non-negative dimension")
+        if self.kind is not StateKind.SHARDED and self.dim is not None:
+            raise ValueError(f"{self.kind.value} state must not carry a dimension")
+
+    # -- convenience constructors ------------------------------------------
+    @staticmethod
+    def replicated() -> "DistState":
+        return _REPLICATED
+
+    @staticmethod
+    def partial() -> "DistState":
+        return _PARTIAL
+
+    @staticmethod
+    def sharded(dim: int) -> "DistState":
+        return DistState(StateKind.SHARDED, dim)
+
+    # -- predicates ----------------------------------------------------------
+    @property
+    def is_replicated(self) -> bool:
+        return self.kind is StateKind.REPLICATED
+
+    @property
+    def is_sharded(self) -> bool:
+        return self.kind is StateKind.SHARDED
+
+    @property
+    def is_partial(self) -> bool:
+        return self.kind is StateKind.PARTIAL
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_sharded:
+            return f"all-gather({self.dim})"
+        if self.is_partial:
+            return "all-reduce"
+        return "identity"
+
+
+_REPLICATED = DistState(StateKind.REPLICATED)
+_PARTIAL = DistState(StateKind.PARTIAL)
+
+
+@dataclass(frozen=True)
+class Property:
+    """``ref | state``: a reference tensor held in a particular distribution."""
+
+    ref: str
+    state: DistState
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.ref} | {self.state}"
+
+
+def replicated(ref: str) -> Property:
+    """Property ``ref | Identity``."""
+    return Property(ref, DistState.replicated())
+
+
+def partial(ref: str) -> Property:
+    """Property ``ref | All-Reduce``."""
+    return Property(ref, DistState.partial())
+
+
+def sharded(ref: str, dim: int) -> Property:
+    """Property ``ref | All-Gather(dim)``."""
+    return Property(ref, DistState.sharded(dim))
+
+
+PropertySet = frozenset

@@ -1,0 +1,693 @@
+"""Background-theory construction (Sec. 4.2 of the paper).
+
+Given a single-device training graph, :func:`build_theory` derives the set of
+Hoare triples that the synthesizer searches over.  Each triple (a
+:class:`Rule`) has
+
+* a precondition — properties the partial program must already contain,
+* one or more distributed instructions to append, and
+* a postcondition — the properties those instructions establish.
+
+Rules come in three families:
+
+1. **Computation rules**, one per (node, sharding variant): generated from the
+   mathematical characteristics of the node's operator (``OpKind``), e.g. the
+   three MatMul sharding rules of Fig. 9 plus the duplicated-compute rule that
+   enables sufficient factor broadcasting (Sec. 4.4).
+2. **Source rules** for placeholders/parameters/constants
+   (``Placeholder-Shard(d)`` etc.).  Following the paper's first search-time
+   optimisation these are *fused* into their consumers so that the search
+   never has to decide where to place them.
+3. **Communication rules**, converting a tensor between distribution states
+   with a collective.  Only conversions from a state some rule can produce to
+   a state some rule wants are generated, and each reference tensor may be
+   communicated at most once per program (the paper's second optimisation).
+
+Mixture-of-Experts capacity tensors carry device-local routing; gathering them
+back to a "replicated" tensor would not reproduce the reference value, so such
+tensors are restricted to All-To-All communication (expert parallelism), which
+is exactly how GShard-style systems treat them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..collectives.cost import CollectiveKind
+from ..graph.graph import ComputationGraph, Node
+from ..graph.ops import OpKind
+from .config import SynthesisConfig
+from .instructions import CommInstruction, CompInstruction, Instruction, is_source_op
+from .properties import DistState, Property, PropertySet, StateKind
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One Hoare triple of the background theory.
+
+    Attributes:
+        pre: properties required of the partial program.
+        instructions: distributed instructions appended when the rule fires.
+        post: properties established by the instructions.
+        completes: single-device nodes emulated by this rule (each node may be
+            emulated at most once per program).
+        communicates: reference tensors communicated by this rule (each may be
+            communicated at most once per program).
+    """
+
+    pre: FrozenSet[Property]
+    instructions: Tuple[Instruction, ...]
+    post: FrozenSet[Property]
+    completes: FrozenSet[str]
+    communicates: FrozenSet[str]
+
+    @property
+    def is_communication(self) -> bool:
+        """True if any appended instruction is a collective."""
+        return any(instr.is_communication for instr in self.instructions)
+
+    def describe(self) -> str:
+        """Readable rendering for debugging and documentation."""
+        pre = ", ".join(sorted(str(p) for p in self.pre)) or "∅"
+        post = ", ".join(sorted(str(p) for p in self.post))
+        body = "; ".join(i.describe() for i in self.instructions)
+        return f"{{ {pre} }} {body} {{ {post} }}"
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One sharding variant of a computation node: input states -> output state."""
+
+    input_states: Tuple[DistState, ...]
+    output_state: DistState
+    flops_sharded: bool
+
+
+class Theory:
+    """The background theory for one training graph on one cluster size."""
+
+    def __init__(
+        self,
+        graph: ComputationGraph,
+        num_devices: int,
+        config: SynthesisConfig,
+        rules: List[Rule],
+        restricted_refs: FrozenSet[str],
+    ) -> None:
+        self.graph = graph
+        self.num_devices = num_devices
+        self.config = config
+        self.rules = rules
+        #: refs restricted to All-To-All communication (MoE capacity tensors)
+        self.restricted_refs = restricted_refs
+        # Index rules by the reference tensors appearing in their
+        # preconditions (used by the unrestricted A* search) ...
+        self.rules_by_pre_ref: Dict[str, List[Rule]] = {}
+        for rule in rules:
+            refs = {p.ref for p in rule.pre} or {"__empty__"}
+            for ref in refs:
+                self.rules_by_pre_ref.setdefault(ref, []).append(rule)
+        # ... and by the computation node they emulate / the tensor they
+        # communicate (used by the topological-order search).
+        self.comp_rules_by_node: Dict[str, List[Rule]] = {}
+        self.comm_rules_by_ref: Dict[str, List[Rule]] = {}
+        for rule in rules:
+            if rule.is_communication:
+                for ref in {p.ref for p in rule.pre}:
+                    self.comm_rules_by_ref.setdefault(ref, []).append(rule)
+            else:
+                primary = _primary_completed_node(rule, graph)
+                if primary is not None:
+                    self.comp_rules_by_node.setdefault(primary, []).append(rule)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def wanted_states_of(self, ref: str) -> Set[DistState]:
+        """Distribution states of ``ref`` required by some computation rule."""
+        wanted: Set[DistState] = set()
+        for rules in self.comp_rules_by_node.values():
+            for rule in rules:
+                for prop in rule.pre:
+                    if prop.ref == ref:
+                        wanted.add(prop.state)
+        return wanted
+
+    def describe(self, limit: Optional[int] = None) -> str:
+        """Multi-line listing of (a prefix of) the rules."""
+        rules = self.rules[:limit] if limit else self.rules
+        return "\n".join(r.describe() for r in rules)
+
+
+def _primary_completed_node(rule: Rule, graph: ComputationGraph) -> Optional[str]:
+    """The non-source node a computation rule emulates (None for comm rules)."""
+    primary = None
+    for name in rule.completes:
+        if not is_source_op(graph[name].op):
+            primary = name
+    if primary is None and rule.completes:
+        # Pure-source rule (should not occur after fusion); index by any node.
+        primary = next(iter(rule.completes))
+    return primary
+
+
+# ---------------------------------------------------------------------------
+# sharding-variant generation per operator kind
+# ---------------------------------------------------------------------------
+
+R = DistState.replicated()
+P = DistState.partial()
+
+
+def S(dim: int) -> DistState:
+    return DistState.sharded(dim)
+
+
+def _input_shardable(spec_shape: Tuple[int, ...], dim: int, cfg: SynthesisConfig, num_devices: int) -> bool:
+    if dim >= len(spec_shape):
+        return False
+    return spec_shape[dim] >= max(cfg.min_shard_dim_size, num_devices)
+
+
+def node_variants(
+    node: Node, graph: ComputationGraph, cfg: SynthesisConfig, num_devices: int
+) -> List[Variant]:
+    """All sharding variants of one computation node.
+
+    This is the reproduction of the rule tables sketched in Fig. 9: for each
+    operator kind we enumerate the combinations of input distribution states
+    under which running the operator locally yields an output in a known
+    distribution state.
+    """
+    kind = node.kind
+    in_specs = graph.input_specs(node)
+    out_spec = node.spec
+    variants: List[Variant] = []
+
+    def add(in_states: Sequence[DistState], out_state: DistState, sharded: bool) -> None:
+        variants.append(Variant(tuple(in_states), out_state, sharded))
+
+    def out_dims() -> List[int]:
+        return [
+            d
+            for d, size in enumerate(out_spec.shape)
+            if size >= max(cfg.min_shard_dim_size, num_devices)
+        ]
+
+    arity = len(node.inputs)
+
+    if kind is OpKind.SOURCE:
+        raise ValueError("source nodes are handled by source_variants()")
+
+    # -- shape-preserving elementwise maps -----------------------------------
+    if kind is OpKind.ELEMENTWISE:
+        add([R] * arity, R, sharded=False)
+        for d in out_dims():
+            add([S(d)] * arity, S(d), sharded=True)
+        # Linear ops propagate partial values (needed on gradient paths).
+        if node.op in ("identity", "dropout", "neg", "scale"):
+            add([P], P, sharded=False)
+        if node.op == "add":
+            add([P, P], P, sharded=False)
+        return variants
+
+    if kind is OpKind.BROADCAST_BIAS:
+        add([R, R], R, sharded=False)
+        for d in out_dims():
+            if d == out_spec.rank - 1:
+                add([S(d), S(0)], S(d), sharded=True)
+            else:
+                add([S(d), R], S(d), sharded=True)
+        return variants
+
+    if kind is OpKind.MATMUL:
+        a, b = in_specs
+        if cfg.enable_sfb:
+            add([R, R], R, sharded=False)  # duplicated compute (enables SFB)
+        if a.rank == 2 and b.rank == 2:
+            if _input_shardable(a.shape, 0, cfg, num_devices):
+                add([S(0), R], S(0), sharded=True)
+            if _input_shardable(b.shape, 1, cfg, num_devices):
+                add([R, S(1)], S(1), sharded=True)
+            if _input_shardable(a.shape, 1, cfg, num_devices):
+                add([S(1), S(0)], P, sharded=True)
+        elif a.rank == 3 and b.rank == 3:
+            if _input_shardable(a.shape, 0, cfg, num_devices):
+                add([S(0), S(0)], S(0), sharded=True)
+            if _input_shardable(a.shape, 1, cfg, num_devices):
+                add([S(1), R], S(1), sharded=True)
+            if _input_shardable(b.shape, 2, cfg, num_devices):
+                add([R, S(2)], S(2), sharded=True)
+            if _input_shardable(a.shape, 2, cfg, num_devices):
+                add([S(2), S(1)], P, sharded=True)
+        elif a.rank == 3 and b.rank == 2:
+            if _input_shardable(a.shape, 0, cfg, num_devices):
+                add([S(0), R], S(0), sharded=True)
+            if _input_shardable(a.shape, 1, cfg, num_devices):
+                add([S(1), R], S(1), sharded=True)
+            if _input_shardable(b.shape, 1, cfg, num_devices):
+                add([R, S(1)], S(2), sharded=True)
+            if _input_shardable(a.shape, 2, cfg, num_devices):
+                add([S(2), S(0)], P, sharded=True)
+        return variants
+
+    if kind is OpKind.REDUCTION:
+        add([R], R, sharded=False)
+        if node.op == "reduce_sum":
+            for d, size in enumerate(in_specs[0].shape):
+                if size >= max(cfg.min_shard_dim_size, num_devices):
+                    add([S(d)], P, sharded=True)
+        return variants
+
+    if kind is OpKind.NORMALIZATION:
+        axis = int(node.attrs.get("axis", -1)) % out_spec.rank
+        add([R] * arity, R, sharded=False)
+        for d in out_dims():
+            if d != axis:
+                add([S(d)] * arity, S(d), sharded=True)
+        return variants
+
+    if kind in (OpKind.RESHAPE, OpKind.FLATTEN):
+        add([R], R, sharded=False)
+        add([P], P, sharded=False)
+        for din, dout in _reshape_dim_map(in_specs[0].shape, out_spec.shape):
+            if _input_shardable(in_specs[0].shape, din, cfg, num_devices):
+                add([S(din)], S(dout), sharded=True)
+        return variants
+
+    if kind is OpKind.TRANSPOSE:
+        perm = tuple(int(p) for p in node.attrs["perm"])
+        add([R], R, sharded=False)
+        add([P], P, sharded=False)
+        for dout, din in enumerate(perm):
+            if _input_shardable(in_specs[0].shape, din, cfg, num_devices):
+                add([S(din)], S(dout), sharded=True)
+        return variants
+
+    if kind is OpKind.EMBEDDING:
+        ids, table = in_specs
+        add([R, R], R, sharded=False)
+        for d in range(ids.rank):
+            if _input_shardable(ids.shape, d, cfg, num_devices):
+                add([S(d), R], S(d), sharded=True)
+        if _input_shardable(table.shape, 1, cfg, num_devices):
+            add([R, S(1)], S(out_spec.rank - 1), sharded=True)
+        return variants
+
+    if kind in (OpKind.CONV, OpKind.POOL, OpKind.CONV_GRAD_INPUT):
+        add([R] * arity, R, sharded=False)
+        if _input_shardable(out_spec.shape, 0, cfg, num_devices):
+            states = [S(0)] + [R] * (arity - 1)
+            if kind is OpKind.POOL and arity == 2:  # pool grads take (dy, x)
+                states = [S(0), S(0)]
+            add(states, S(0), sharded=True)
+        return variants
+
+    if kind is OpKind.CONV_GRAD_WEIGHT:
+        add([R, R], R, sharded=False)
+        if _input_shardable(in_specs[0].shape, 0, cfg, num_devices):
+            add([S(0), S(0)], P, sharded=True)
+        return variants
+
+    if kind is OpKind.CROSS_ENTROPY:
+        if node.op == "cross_entropy":
+            add([R, R], R, sharded=False)
+            if _input_shardable(in_specs[0].shape, 0, cfg, num_devices):
+                add([S(0), S(0)], P, sharded=True)
+        else:  # cross_entropy_grad(dy, logits, labels)
+            add([R, R, R], R, sharded=False)
+            if _input_shardable(in_specs[1].shape, 0, cfg, num_devices):
+                add([R, S(0), S(0)], S(0), sharded=True)
+        return variants
+
+    if kind is OpKind.BROADCAST:
+        add([R], R, sharded=False)
+        return variants
+
+    if kind is OpKind.SUM_LEADING:
+        src = in_specs[0]
+        add([R], R, sharded=False)
+        for d in range(src.rank - 1):
+            if _input_shardable(src.shape, d, cfg, num_devices):
+                add([S(d)], P, sharded=True)
+        if _input_shardable(src.shape, src.rank - 1, cfg, num_devices):
+            add([S(src.rank - 1)], S(0), sharded=True)
+        return variants
+
+    if kind is OpKind.EMBEDDING_GRAD:
+        dy, ids = in_specs
+        add([R, R], R, sharded=False)
+        for d in range(ids.rank):
+            if _input_shardable(ids.shape, d, cfg, num_devices):
+                add([S(d), S(d)], P, sharded=True)
+        if _input_shardable(dy.shape, dy.rank - 1, cfg, num_devices):
+            add([S(dy.rank - 1), R], S(1), sharded=True)
+        return variants
+
+    if kind is OpKind.MOE_DISPATCH:
+        # moe_dispatch(tokens [N,H], gates [N,E]) -> [E, C, H]
+        # moe_combine_grad(dy [N,H], gates [N,E]) -> [E, C, H]
+        add([R, R], R, sharded=False)
+        if _input_shardable(in_specs[0].shape, 0, cfg, num_devices):
+            add([S(0), S(0)], S(1), sharded=True)
+        return variants
+
+    if kind is OpKind.MOE_COMBINE:
+        # moe_combine(expert_out [E,C,H], gates [N,E]) -> [N,H]
+        # moe_dispatch_grad(dy [E,C,H], gates [N,E]) -> [N,H]
+        add([R, R], R, sharded=False)
+        if _input_shardable(in_specs[1].shape, 0, cfg, num_devices):
+            add([S(1), S(0)], S(0), sharded=True)
+        return variants
+
+    if kind is OpKind.OPTIMIZER:
+        add([R, R], R, sharded=False)
+        for d in out_dims():
+            add([S(d), S(d)], S(d), sharded=True)
+        return variants
+
+    raise ValueError(f"no sharding rules defined for operator kind {kind!r} (node {node.name!r})")
+
+
+def _reshape_dim_map(
+    in_shape: Tuple[int, ...], out_shape: Tuple[int, ...]
+) -> List[Tuple[int, int]]:
+    """Pairs (input dim, output dim) along which a sharded reshape stays local.
+
+    A shard along an input dimension survives a local reshape when either the
+    dimension lies in the longest common prefix/suffix of the two shapes, or
+    it is the outermost dimension and the reshape only merges/splits leading
+    dimensions (e.g. ``[B, S, H] -> [B*S, H]`` or ``[B*h, S, d] ->
+    [B, h, S, d]``): the locally reshaped shards concatenate to the reshaped
+    reference tensor because the trailing "row" layout is unchanged.
+    """
+    pairs: List[Tuple[int, int]] = []
+    rin, rout = len(in_shape), len(out_shape)
+    # common prefix
+    prefix = 0
+    while prefix < min(rin, rout) and in_shape[prefix] == out_shape[prefix]:
+        prefix += 1
+    for d in range(prefix):
+        pairs.append((d, d))
+    # common suffix
+    suffix = 0
+    while (
+        suffix < min(rin, rout) - prefix
+        and in_shape[rin - 1 - suffix] == out_shape[rout - 1 - suffix]
+    ):
+        suffix += 1
+    for k in range(suffix):
+        pairs.append((rin - 1 - k, rout - 1 - k))
+    # merging all leading input dims into output dim 0, or splitting input
+    # dim 0 into several leading output dims
+    if rout < rin and suffix >= rout - 1:
+        pairs.append((0, 0))
+    if rout > rin and suffix >= rin - 1:
+        pairs.append((0, 0))
+    return sorted(set(pairs))
+
+
+def source_variants(
+    node: Node, cfg: SynthesisConfig, num_devices: int
+) -> List[DistState]:
+    """Distribution states a source node can be created in."""
+    states: List[DistState] = []
+    if node.op == "constant":
+        return [R]
+    if cfg.force_data_parallel:
+        # Baseline emulation: placeholders are always sharded along the batch
+        # dimension, parameters are replicated (except expert parameters when
+        # expert parallelism is requested, as in DeepSpeed-MoE).
+        if node.op == "placeholder":
+            if node.spec.rank and node.spec.shape[0] >= max(cfg.min_shard_dim_size, num_devices):
+                return [S(0)]
+            return [R]
+        if cfg.expert_parallel_parameters and node.spec.rank == 3:
+            return [S(0)]
+        return [R]
+    for d, size in enumerate(node.spec.shape):
+        if size >= max(cfg.min_shard_dim_size, num_devices):
+            states.append(S(d))
+    if cfg.enable_replicated_sources or not states:
+        states.append(R)
+    return states
+
+
+# ---------------------------------------------------------------------------
+# MoE capacity-tensor taint
+# ---------------------------------------------------------------------------
+
+def moe_restricted_refs(graph: ComputationGraph) -> FrozenSet[str]:
+    """Reference tensors that live in the MoE expert-capacity layout.
+
+    The outputs of ``moe_dispatch``/``moe_combine_grad`` hold one row per
+    *capacity slot*, and slots are assigned by device-local routing when the
+    tokens are sharded.  Any tensor that still carries that capacity dimension
+    (tracked positionally through transposes, element-wise ops and batched
+    matmuls) may only be re-distributed with All-To-All — gathering it to a
+    "replicated" tensor would not reproduce the reference value.  Tensors that
+    contract the capacity dimension away (e.g. expert weight gradients) leave
+    the restricted set and can be all-reduced normally.
+    """
+    capacity_dim: Dict[str, int] = {}
+    for node in graph:
+        if node.op in ("moe_dispatch", "moe_combine_grad"):
+            capacity_dim[node.name] = 1
+            continue
+        if node.op in ("moe_combine", "moe_dispatch_grad"):
+            continue
+        tainted_inputs = [(inp, capacity_dim[inp]) for inp in node.inputs if inp in capacity_dim]
+        if not tainted_inputs:
+            continue
+        dim = _propagate_capacity_dim(node, graph, dict(tainted_inputs))
+        if dim is not None:
+            capacity_dim[node.name] = dim
+    return frozenset(capacity_dim)
+
+
+def _propagate_capacity_dim(
+    node: Node, graph: ComputationGraph, tainted: Dict[str, int]
+) -> Optional[int]:
+    """Position of the capacity dimension in a node's output, if it survives."""
+    kind = node.kind
+    first_ref, first_dim = next(iter(tainted.items()))
+    if kind is OpKind.TRANSPOSE:
+        perm = tuple(int(p) for p in node.attrs["perm"])
+        return perm.index(first_dim) if first_dim in perm else None
+    if kind in (OpKind.ELEMENTWISE, OpKind.BROADCAST_BIAS, OpKind.NORMALIZATION):
+        return first_dim
+    if kind is OpKind.MATMUL:
+        a_name, b_name = node.inputs
+        a, b = graph.input_specs(node)
+        if a.rank == 3 and b.rank == 3:
+            if a_name in tainted:
+                dim = tainted[a_name]
+                if dim == 1:
+                    return 1  # rows survive as output dim 1
+                return None  # capacity was the contracted dimension
+            if b_name in tainted:
+                dim = tainted[b_name]
+                if dim == 2:
+                    return 2
+                return None
+        return None
+    if kind in (OpKind.RESHAPE, OpKind.FLATTEN):
+        for din, dout in _reshape_dim_map(graph.input_specs(node)[0].shape, node.spec.shape):
+            if din == first_dim:
+                return dout
+        return None
+    # Reductions and other contractions drop the capacity layout.
+    return None
+
+
+# ---------------------------------------------------------------------------
+# theory construction
+# ---------------------------------------------------------------------------
+
+def build_theory(
+    graph: ComputationGraph, num_devices: int, config: Optional[SynthesisConfig] = None
+) -> Theory:
+    """Derive the background theory T for a training graph.
+
+    Args:
+        graph: single-device training graph (forward + backward + updates).
+        num_devices: number of HAP virtual devices in the cluster.
+        config: synthesizer configuration (defaults to full HAP).
+
+    Returns:
+        A :class:`Theory` containing computation, fused-source and
+        communication rules.
+    """
+    cfg = config or SynthesisConfig()
+    graph.validate()
+    restricted = moe_restricted_refs(graph)
+
+    source_states: Dict[str, List[DistState]] = {}
+    for node in graph:
+        if node.kind is OpKind.SOURCE:
+            source_states[node.name] = source_variants(node, cfg, num_devices)
+
+    # 1. computation rules ------------------------------------------------------
+    comp_rules: List[Rule] = []
+    produced: Dict[str, Set[DistState]] = {name: set() for name in graph.node_names}
+    wanted: Dict[str, Set[DistState]] = {name: set() for name in graph.node_names}
+
+    for name, states in source_states.items():
+        produced[name].update(states)
+
+    for node in graph:
+        if node.kind is OpKind.SOURCE:
+            continue
+        for variant in node_variants(node, graph, cfg, num_devices):
+            pre = frozenset(
+                Property(inp, state) for inp, state in zip(node.inputs, variant.input_states)
+            )
+            out_prop = Property(node.name, variant.output_state)
+            instr = CompInstruction(
+                node=node.name,
+                op=node.op,
+                inputs=tuple(Property(i, s) for i, s in zip(node.inputs, variant.input_states)),
+                output=out_prop,
+                flops_sharded=variant.flops_sharded,
+            )
+            comp_rules.append(
+                Rule(
+                    pre=pre,
+                    instructions=(instr,),
+                    post=frozenset({out_prop}),
+                    completes=frozenset({node.name}),
+                    communicates=frozenset(),
+                )
+            )
+            produced[node.name].add(variant.output_state)
+            for inp, state in zip(node.inputs, variant.input_states):
+                wanted[inp].add(state)
+
+    # 2. fuse source rules into consumers (search-time optimisation #1) ---------
+    fused_rules: List[Rule] = []
+    for rule in comp_rules:
+        fused_rules.extend(_fuse_sources(rule, graph, source_states))
+    all_comp_rules = comp_rules + fused_rules
+
+    # 3. communication rules -----------------------------------------------------
+    comm_rules: List[Rule] = []
+    for node in graph:
+        name = node.name
+        if node.kind is OpKind.SOURCE:
+            continue  # optimisation #2: sources use *-Shard instructions instead
+        targets = set(wanted[name])
+        if name in graph.outputs:
+            # Outputs only need to exist in some state; no extra targets.
+            pass
+        sources = set(produced[name])
+        if not sources or not targets:
+            continue
+        for src in sources:
+            for dst in targets:
+                if src == dst:
+                    continue
+                comm_rules.extend(
+                    _comm_rules_for(name, node, src, dst, cfg, name in restricted)
+                )
+
+    rules = all_comp_rules + comm_rules
+    return Theory(graph, num_devices, cfg, rules, restricted)
+
+
+def _fuse_sources(
+    rule: Rule, graph: ComputationGraph, source_states: Dict[str, List[DistState]]
+) -> List[Rule]:
+    """Fuse source-producing instructions into a consumer rule.
+
+    For every subset of the rule's preconditions that refer to source nodes,
+    produce a variant whose instructions create those sources inline and whose
+    precondition no longer mentions them.
+    """
+    source_pre = [p for p in rule.pre if p.ref in source_states]
+    fused: List[Rule] = []
+    if not source_pre:
+        return fused
+    # Only fuse preconditions whose state the source can actually be created in.
+    feasible = [p for p in source_pre if p.state in source_states[p.ref]]
+    for k in range(1, len(feasible) + 1):
+        for subset in itertools.combinations(feasible, k):
+            new_pre = frozenset(p for p in rule.pre if p not in subset)
+            prefix_instrs = tuple(
+                CompInstruction(
+                    node=p.ref,
+                    op=graph[p.ref].op,
+                    inputs=(),
+                    output=p,
+                    flops_sharded=p.state.is_sharded,
+                )
+                for p in subset
+            )
+            fused.append(
+                Rule(
+                    pre=new_pre,
+                    instructions=prefix_instrs + rule.instructions,
+                    post=rule.post | frozenset(subset),
+                    completes=rule.completes | frozenset(p.ref for p in subset),
+                    communicates=rule.communicates,
+                )
+            )
+    return fused
+
+
+def _comm_rules_for(
+    ref: str,
+    node: Node,
+    src: DistState,
+    dst: DistState,
+    cfg: SynthesisConfig,
+    restricted: bool,
+) -> List[Rule]:
+    """Communication rules converting ``ref`` from state ``src`` to ``dst``."""
+    rules: List[Rule] = []
+
+    def make(
+        kind: CollectiveKind,
+        dim: Optional[int] = None,
+        dim2: Optional[int] = None,
+        counts_as_communication: bool = True,
+    ) -> Rule:
+        instr = CommInstruction(
+            kind=kind,
+            input=Property(ref, src),
+            output=Property(ref, dst),
+            dim=dim,
+            dim2=dim2,
+        )
+        return Rule(
+            pre=frozenset({Property(ref, src)}),
+            instructions=(instr,),
+            post=frozenset({Property(ref, dst)}),
+            completes=frozenset(),
+            communicates=frozenset({ref}) if counts_as_communication else frozenset(),
+        )
+
+    if restricted:
+        if src.is_sharded and dst.is_sharded and src.dim != dst.dim:
+            rules.append(make(CollectiveKind.ALL_TO_ALL, dim=src.dim, dim2=dst.dim))
+        return rules
+
+    if src.is_partial and dst.is_replicated:
+        rules.append(make(CollectiveKind.ALL_REDUCE))
+    elif src.is_partial and dst.is_sharded:
+        rules.append(make(CollectiveKind.REDUCE_SCATTER, dim=dst.dim))
+    elif src.is_sharded and dst.is_replicated:
+        rules.append(make(CollectiveKind.ALL_GATHER, dim=src.dim))
+        if cfg.enable_grouped_all_gather:
+            rules.append(make(CollectiveKind.ALL_GATHER_GROUPED, dim=src.dim))
+    elif src.is_sharded and dst.is_sharded and src.dim != dst.dim:
+        rules.append(make(CollectiveKind.ALL_TO_ALL, dim=src.dim, dim2=dst.dim))
+    elif src.is_replicated and dst.is_sharded:
+        # Each device keeps only its own slice of the replicated tensor; this
+        # involves no network traffic and does not count against the
+        # one-communication-per-tensor budget.
+        rules.append(
+            make(CollectiveKind.SLICE, dim=dst.dim, counts_as_communication=False)
+        )
+    return rules

@@ -1,0 +1,507 @@
+"""A*-based distributed-program synthesis (Sec. 4.3 of the paper).
+
+The synthesizer searches the space of distributed programs defined by the
+background theory (:mod:`repro.core.rules`).  A partial program is represented
+by its *search state*: the set of live properties, the set of emulated
+single-device nodes, the set of communicated tensors, and the cost bookkeeping
+of the stage currently being filled.  The search repeatedly pops the
+lowest-score state from a priority queue and appends every applicable Hoare
+triple, exactly as in Fig. 10, with the paper's three search-time
+optimisations:
+
+1. source instructions are pre-fused into consumer rules (done in
+   :func:`repro.core.rules.build_theory`);
+2. every reference tensor may be communicated at most once, and placeholders /
+   parameters are never communicated (they are created already sharded);
+3. properties of tensors whose consumers have all been emulated are dropped,
+   which lets the dominance check merge many more states.
+
+The dominance check itself generalises lines 9–14 of Fig. 10: two partial
+programs with identical state are compared by their per-device accumulated
+cost vectors, and the dominated one is discarded.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..cluster.spec import ClusterSpec
+from ..graph.graph import ComputationGraph
+from ..graph.ops import OpKind
+from .config import SynthesisConfig
+from .costmodel import CostModel
+from .instructions import CommInstruction, CompInstruction, Instruction
+from .program import DistributedProgram
+from .properties import Property
+from .rules import Rule, Theory, build_theory
+
+
+class SynthesisError(RuntimeError):
+    """Raised when no semantically equivalent distributed program is found."""
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of one synthesis run.
+
+    Attributes:
+        program: the optimal distributed program found.
+        cost: its estimated per-iteration time under the given ratios.
+        expanded_states: number of states popped from the priority queue.
+        generated_states: number of states pushed to the priority queue.
+        elapsed_seconds: wall-clock synthesis time.
+    """
+
+    program: DistributedProgram
+    cost: float
+    expanded_states: int
+    generated_states: int
+    elapsed_seconds: float
+
+
+class _SearchNode:
+    """One partial program in the A* frontier (immutable once created)."""
+
+    __slots__ = (
+        "parent",
+        "rule",
+        "properties",
+        "completed",
+        "communicated",
+        "closed_cost",
+        "stage_comp",
+        "completed_ideal",
+        "depth",
+    )
+
+    def __init__(
+        self,
+        parent: Optional["_SearchNode"],
+        rule: Optional[Rule],
+        properties: FrozenSet[Property],
+        completed: int,
+        communicated: FrozenSet[str],
+        closed_cost: float,
+        stage_comp: Tuple[float, ...],
+        completed_ideal: float,
+        depth: int,
+    ) -> None:
+        self.parent = parent
+        self.rule = rule
+        self.properties = properties
+        self.completed = completed
+        self.communicated = communicated
+        self.closed_cost = closed_cost
+        self.stage_comp = stage_comp
+        self.completed_ideal = completed_ideal
+        self.depth = depth
+
+    def instructions(self) -> List[Instruction]:
+        """Reconstruct the instruction sequence by walking parent pointers."""
+        rules: List[Rule] = []
+        node: Optional[_SearchNode] = self
+        while node is not None and node.rule is not None:
+            rules.append(node.rule)
+            node = node.parent
+        out: List[Instruction] = []
+        for rule in reversed(rules):
+            out.extend(rule.instructions)
+        return out
+
+    def cost_vector(self) -> Tuple[float, ...]:
+        """Per-device accumulated cost (closed stages + open-stage compute)."""
+        return tuple(self.closed_cost + c for c in self.stage_comp)
+
+    def open_stage_cost(self) -> float:
+        return max(self.stage_comp) if self.stage_comp else 0.0
+
+
+class ProgramSynthesizer:
+    """Synthesizes the optimal distributed program for fixed sharding ratios."""
+
+    def __init__(
+        self,
+        graph: ComputationGraph,
+        cluster: ClusterSpec,
+        config: Optional[SynthesisConfig] = None,
+        theory: Optional[Theory] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.graph = graph
+        self.cluster = cluster
+        self.config = config or SynthesisConfig()
+        self.theory = theory or build_theory(graph, cluster.num_devices, self.config)
+        self.cost_model = cost_model or CostModel(graph, cluster)
+        self._node_index = {name: i for i, name in enumerate(graph.node_names)}
+        self._consumers = graph.consumers()
+        self._outputs = set(graph.outputs)
+        self._output_mask = 0
+        for name in graph.outputs:
+            self._output_mask |= 1 << self._node_index[name]
+        self._total_ideal = sum(
+            self.cost_model.ideal_node_time(n.name)
+            for n in graph
+            if n.kind is not OpKind.SOURCE
+        )
+        self._ideal_cache: Dict[str, float] = {}
+        # Topological emulation order (non-source nodes only) used when
+        # ``config.follow_topological_order`` is set.
+        self._topo_order = [n.name for n in graph if n.kind is not OpKind.SOURCE]
+        self._topo_pos = {name: i for i, name in enumerate(self._topo_order)}
+
+    # -- helpers -----------------------------------------------------------------
+    def _ideal(self, name: str) -> float:
+        if name not in self._ideal_cache:
+            node = self.graph[name]
+            self._ideal_cache[name] = (
+                0.0 if node.kind is OpKind.SOURCE else self.cost_model.ideal_node_time(name)
+            )
+        return self._ideal_cache[name]
+
+    def _score(self, node: _SearchNode) -> float:
+        remaining = max(self._total_ideal - node.completed_ideal, 0.0)
+        return node.closed_cost + max(node.open_stage_cost(), remaining)
+
+    def _is_complete(self, node: _SearchNode) -> bool:
+        return (node.completed & self._output_mask) == self._output_mask
+
+    def _final_cost(self, node: _SearchNode) -> float:
+        return node.closed_cost + node.open_stage_cost()
+
+    def _apply(self, node: _SearchNode, rule: Rule, ratios: Sequence[float]) -> _SearchNode:
+        """Append a rule to a partial program, updating state and cost."""
+        closed = node.closed_cost
+        stage = list(node.stage_comp)
+        for instr in rule.instructions:
+            if isinstance(instr, CommInstruction):
+                if not instr.synchronises:
+                    continue  # local slice: no synchronisation, negligible cost
+                closed += (max(stage) if stage else 0.0) + self.cost_model.comm_time(instr, ratios)
+                stage = [0.0] * len(stage)
+            else:
+                times = self.cost_model.comp_times(instr, ratios)
+                for j, t in enumerate(times):
+                    stage[j] += t
+        completed = node.completed
+        completed_ideal = node.completed_ideal
+        for name in rule.completes:
+            completed |= 1 << self._node_index[name]
+            completed_ideal += self._ideal(name)
+        properties = set(node.properties) | set(rule.post)
+        communicated = node.communicated | rule.communicates
+        # Optimisation #3: drop properties of tensors that can no longer be
+        # consumed (every consumer already emulated).  Program outputs with no
+        # consumers (updated parameters, the loss) are dropped from the search
+        # state as well — their completion is tracked by the bitmask, and
+        # removing them lets the dominance check merge programs that made
+        # different (already-paid-for) choices for earlier parts of the model.
+        dead_candidates: Set[str] = set()
+        for name in rule.completes:
+            dead_candidates.update(self.graph[name].inputs)
+            dead_candidates.add(name)
+        for ref in dead_candidates:
+            consumers = self._consumers.get(ref, [])
+            done = all(completed & (1 << self._node_index[c]) for c in consumers)
+            if done and (consumers or ref in self._outputs):
+                properties = {p for p in properties if p.ref != ref}
+        return _SearchNode(
+            parent=node,
+            rule=rule,
+            properties=frozenset(properties),
+            completed=completed,
+            communicated=communicated,
+            closed_cost=closed,
+            stage_comp=tuple(stage),
+            completed_ideal=completed_ideal,
+            depth=node.depth + 1,
+        )
+
+    def _applicable_rules(self, node: _SearchNode) -> List[Rule]:
+        """Rules whose precondition holds and whose application adds something."""
+        if self.config.follow_topological_order:
+            candidates = self._topological_candidates(node)
+        else:
+            candidates = self._unrestricted_candidates(node)
+        out: List[Rule] = []
+        props = node.properties
+        for rule in candidates:
+            if rule.completes:
+                if any(node.completed & (1 << self._node_index[n]) for n in rule.completes):
+                    continue
+            else:
+                # pure communication rule: must add a new property
+                if rule.post <= props:
+                    continue
+            if rule.communicates and (rule.communicates & node.communicated):
+                continue
+            if rule.pre <= props:
+                out.append(rule)
+        return out
+
+    def _unrestricted_candidates(self, node: _SearchNode) -> List[Rule]:
+        """All rules triggered by the live properties (paper's Fig. 10 search)."""
+        candidates: List[Rule] = list(self.theory.rules_by_pre_ref.get("__empty__", []))
+        seen: Set[int] = set()
+        for ref in {p.ref for p in node.properties}:
+            for rule in self.theory.rules_by_pre_ref.get(ref, []):
+                rid = id(rule)
+                if rid not in seen:
+                    seen.add(rid)
+                    candidates.append(rule)
+        return candidates
+
+    def _next_node(self, node: _SearchNode) -> Optional[str]:
+        """First non-source node in topological order not yet emulated."""
+        for name in self._topo_order[self._first_pending(node):]:
+            if not node.completed & (1 << self._node_index[name]):
+                return name
+        return None
+
+    def _first_pending(self, node: _SearchNode) -> int:
+        # depth is a lower bound on progress; scanning from 0 is still correct
+        # but slower, so start a little earlier than the depth suggests.
+        return 0
+
+    def _topological_candidates(self, node: _SearchNode) -> List[Rule]:
+        """Rules for the next node in topological order plus enabling comms.
+
+        The computation candidates are the sharding variants of the next
+        pending node.  The communication candidates are restricted to
+        collectives whose output property appears in the precondition of one
+        of those variants — i.e. collectives that can enable the next node.
+        """
+        next_node = self._next_node(node)
+        if next_node is None:
+            return []
+        comp_rules = self.theory.comp_rules_by_node.get(next_node, [])
+        needed_props: Set[Property] = set()
+        for rule in comp_rules:
+            needed_props.update(rule.pre)
+        candidates: List[Rule] = list(comp_rules)
+        for ref in {p.ref for p in needed_props}:
+            for comm_rule in self.theory.comm_rules_by_ref.get(ref, []):
+                if any(p in needed_props for p in comm_rule.post):
+                    candidates.append(comm_rule)
+        return candidates
+
+    # -- main search ----------------------------------------------------------------
+    def synthesize(self, ratios: Optional[Sequence[float]] = None) -> SynthesisResult:
+        """Synthesize the optimal distributed program for the given ratios.
+
+        Dispatches to the level-synchronised beam search (default) or the
+        unrestricted A* search of Fig. 10 according to the configuration.
+
+        Args:
+            ratios: sharding ratios ``B`` (defaults to computation-proportional
+                ratios, the paper's ``B^(0)``).
+
+        Returns:
+            The best complete program found and search statistics.
+
+        Raises:
+            SynthesisError: if no complete program exists in the search space
+                (indicates a missing rule for some operator).
+        """
+        ratios = list(ratios) if ratios is not None else self.cluster.proportional_ratios()
+        if len(ratios) != self.cluster.num_devices:
+            raise ValueError(
+                f"expected {self.cluster.num_devices} sharding ratios, got {len(ratios)}"
+            )
+        if self.config.search_strategy == "beam":
+            return self._beam_search(ratios)
+        return self._astar_search(ratios)
+
+    def _root(self) -> _SearchNode:
+        m = self.cluster.num_devices
+        return _SearchNode(
+            parent=None,
+            rule=None,
+            properties=frozenset(),
+            completed=0,
+            communicated=frozenset(),
+            closed_cost=0.0,
+            stage_comp=tuple([0.0] * m),
+            completed_ideal=0.0,
+            depth=0,
+        )
+
+    def _result(
+        self, best: _SearchNode, cost: float, expanded: int, generated: int, start: float
+    ) -> SynthesisResult:
+        instructions = best.instructions()
+        established = frozenset(instr.output for instr in instructions)
+        program = DistributedProgram(
+            graph=self.graph,
+            instructions=instructions,
+            properties=established,
+            num_devices=self.cluster.num_devices,
+        )
+        return SynthesisResult(
+            program=program,
+            cost=cost,
+            expanded_states=expanded,
+            generated_states=generated,
+            elapsed_seconds=_time.perf_counter() - start,
+        )
+
+    # -- level-synchronised beam search ----------------------------------------------
+    def _beam_search(self, ratios: Sequence[float]) -> SynthesisResult:
+        """Per-node beam search over distribution states.
+
+        Processes the single-device nodes in topological order; for every node
+        it tries each sharding variant, optionally preceded by the collectives
+        that establish the variant's missing preconditions, and keeps the
+        ``beam_width`` cheapest resulting states (after merging states that
+        are identical or dominated device-wise).
+        """
+        start = _time.perf_counter()
+        beam_width = self.config.beam_width or 64
+        states: List[_SearchNode] = [self._root()]
+        expanded = 0
+        generated = 1
+
+        for node_name in self._topo_order:
+            children: Dict[Tuple, _SearchNode] = {}
+            comp_rules = self.theory.comp_rules_by_node.get(node_name, [])
+            if not comp_rules:
+                raise SynthesisError(f"no sharding rules for node {node_name!r}")
+            for state in states:
+                expanded += 1
+                for rule in comp_rules:
+                    for child in self._expand_with_rule(state, rule, ratios):
+                        generated += 1
+                        key = (child.properties, child.completed, child.communicated)
+                        vector = child.cost_vector()
+                        existing = children.get(key)
+                        if existing is not None and all(
+                            e <= v + 1e-15 for e, v in zip(existing.cost_vector(), vector)
+                        ):
+                            continue
+                        children[key] = child
+            if not children:
+                raise SynthesisError(
+                    f"beam search dead-ended at node {node_name!r}: no variant of the "
+                    "operator is reachable from the surviving states"
+                )
+            # Rank by the cost actually accumulated so far (closed stages plus
+            # the open stage's critical path, with total device work as the
+            # tie-breaker).  The A* heuristic term would be identical for all
+            # states at the same level and would therefore make them tie.
+            ranked = sorted(
+                children.values(),
+                key=lambda s: (self._final_cost(s), sum(s.stage_comp)),
+            )
+            states = ranked[:beam_width]
+
+        complete = [s for s in states if self._is_complete(s)]
+        if not complete:
+            raise SynthesisError("beam search finished without a complete program")
+        best = min(complete, key=self._final_cost)
+        return self._result(best, self._final_cost(best), expanded, generated, start)
+
+    def _expand_with_rule(
+        self, state: _SearchNode, rule: Rule, ratios: Sequence[float]
+    ) -> List[_SearchNode]:
+        """Apply a computation rule, inserting enabling collectives if needed."""
+        missing = [p for p in rule.pre if p not in state.properties]
+        if any(n for n in rule.completes if state.completed & (1 << self._node_index[n])):
+            return []
+        if not missing:
+            return [self._apply(state, rule, ratios)]
+        # Find, for every missing precondition, the collectives that produce it.
+        option_sets: List[List[Rule]] = []
+        for prop in missing:
+            options = [
+                comm
+                for comm in self.theory.comm_rules_by_ref.get(prop.ref, [])
+                if prop in comm.post
+                and comm.pre <= state.properties
+                and not (comm.communicates & state.communicated)
+            ]
+            if not options:
+                return []
+            option_sets.append(options)
+        results = []
+        for combo in itertools.product(*option_sets):
+            current = state
+            for comm in combo:
+                current = self._apply(current, comm, ratios)
+            results.append(self._apply(current, rule, ratios))
+        return results
+
+    # -- unrestricted A* search (Fig. 10) ----------------------------------------------
+    def _astar_search(self, ratios: Sequence[float]) -> SynthesisResult:
+        start = _time.perf_counter()
+        root = self._root()
+        counter = itertools.count()
+        # Ties are broken towards deeper programs so that a first complete
+        # program (and thus an upper bound for pruning) is found quickly.
+        heap: List[Tuple[float, int, int, _SearchNode]] = [
+            (self._score(root), 0, next(counter), root)
+        ]
+        # Dominance table: state key -> list of undominated per-device cost vectors.
+        best_vectors: Dict[Tuple, List[Tuple[float, ...]]] = {}
+        best_complete: Optional[_SearchNode] = None
+        best_cost = float("inf")
+        expanded = 0
+        generated = 1
+
+        while heap:
+            score, _, _, node = heapq.heappop(heap)
+            if score >= best_cost:
+                break
+            if expanded >= self.config.max_search_steps:
+                break
+            expanded += 1
+
+            for rule in self._applicable_rules(node):
+                child = self._apply(node, rule, ratios)
+                generated += 1
+                if self._is_complete(child):
+                    cost = self._final_cost(child)
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_complete = child
+                    continue
+                key = (child.properties, child.completed, child.communicated)
+                vector = child.cost_vector()
+                existing = best_vectors.get(key)
+                if existing is not None and any(
+                    all(e <= v + 1e-12 for e, v in zip(vec, vector)) for vec in existing
+                ):
+                    continue  # dominated by an already-known program
+                if existing is None:
+                    best_vectors[key] = [vector]
+                else:
+                    existing[:] = [
+                        vec for vec in existing if not all(v <= e + 1e-12 for v, e in zip(vector, vec))
+                    ]
+                    existing.append(vector)
+                child_score = self._score(child)
+                if child_score < best_cost:
+                    heapq.heappush(heap, (child_score, -child.depth, next(counter), child))
+
+            if self.config.beam_width is not None and len(heap) > 4 * self.config.beam_width:
+                heap = heapq.nsmallest(self.config.beam_width, heap)
+                heapq.heapify(heap)
+
+        if best_complete is None:
+            raise SynthesisError(
+                "A* search exhausted without finding a complete distributed program; "
+                "the background theory may be missing rules for some operator"
+            )
+        return self._result(best_complete, best_cost, expanded, generated, start)
+
+
+def synthesize_program(
+    graph: ComputationGraph,
+    cluster: ClusterSpec,
+    ratios: Optional[Sequence[float]] = None,
+    config: Optional[SynthesisConfig] = None,
+) -> SynthesisResult:
+    """Convenience wrapper: build the theory and run one synthesis."""
+    return ProgramSynthesizer(graph, cluster, config).synthesize(ratios)

@@ -1,0 +1,34 @@
+"""Experiment harness reproducing every table and figure of the evaluation."""
+
+from .harness import ComparisonResult, SystemResult, compare_systems, format_comparison
+from .figures import (
+    fig2_sharding_ratio_tradeoff,
+    fig4_all_gather_variants,
+    fig13_heterogeneous_cluster,
+    fig14_homogeneous_cluster,
+    fig15_ablation,
+    fig16_concurrent_training,
+    fig17_uneven_experts,
+    fig18_cost_model_accuracy,
+    fig19_synthesis_time,
+    format_rows,
+    table1_models,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "SystemResult",
+    "compare_systems",
+    "format_comparison",
+    "table1_models",
+    "fig2_sharding_ratio_tradeoff",
+    "fig4_all_gather_variants",
+    "fig13_heterogeneous_cluster",
+    "fig14_homogeneous_cluster",
+    "fig15_ablation",
+    "fig16_concurrent_training",
+    "fig17_uneven_experts",
+    "fig18_cost_model_accuracy",
+    "fig19_synthesis_time",
+    "format_rows",
+]

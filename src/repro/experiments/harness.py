@@ -1,0 +1,195 @@
+"""Comparison harness: plan and simulate HAP and the baselines on one workload.
+
+This module is the reproduction of the paper's ``run_all worker.py`` /
+``ddp.py`` / ``run_all_deepspeed`` scripts: for a given model and cluster it
+produces one per-iteration training time per system.  Planning happens with
+the corresponding planner (full HAP or a restricted baseline) and "measured"
+times come from the execution simulator, which plays the role of the real
+64-GPU testbed (see DESIGN.md for the substitution argument).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..autodiff import build_training_graph
+from ..baselines import BaselinePlan, plan_baseline
+from ..cluster.spec import ClusterSpec
+from ..core.config import PlannerConfig, SynthesisConfig
+from ..graph.graph import ComputationGraph
+from ..models import BenchmarkScale, build_model
+from ..simulator import ExecutionSimulator
+
+#: Systems compared in Figs. 13-14 (TAG only supports VGG19 and BERT-Base in
+#: the paper; DP baselines go out of memory on BERT-MoE).
+DEFAULT_SYSTEMS = ["HAP", "DP-EV", "DP-CP", "DeepSpeed", "TAG"]
+
+
+def default_planner_config(beam_width: Optional[int] = None, max_rounds: int = 2) -> PlannerConfig:
+    """Planner configuration used by the experiment harness.
+
+    The beam width can be overridden with the ``REPRO_BEAM_WIDTH`` environment
+    variable and the number of (Q, B) rounds with ``REPRO_MAX_ROUNDS`` so that
+    the benchmark suite can trade fidelity for runtime.
+    """
+    beam = beam_width or int(os.environ.get("REPRO_BEAM_WIDTH", "16"))
+    rounds = int(os.environ.get("REPRO_MAX_ROUNDS", str(max_rounds)))
+    config = PlannerConfig(max_rounds=rounds)
+    config.synthesis.beam_width = beam
+    return config
+
+
+@dataclass
+class SystemResult:
+    """Outcome of one system on one workload.
+
+    Attributes:
+        system: system name (HAP or a baseline).
+        simulated_time: per-iteration time on the simulated cluster, in
+            seconds (None when the configuration runs out of memory).
+        estimated_time: the planner's own cost-model estimate.
+        out_of_memory: True if the per-device memory estimate exceeds capacity.
+        num_collectives: number of collective instructions in the program.
+        comm_kinds: histogram of collective kinds.
+        planning_seconds: wall-clock planning time.
+    """
+
+    system: str
+    simulated_time: Optional[float]
+    estimated_time: float
+    out_of_memory: bool
+    num_collectives: int
+    comm_kinds: Dict[str, int] = field(default_factory=dict)
+    planning_seconds: float = 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Iterations per second (0 when OOM)."""
+        if self.simulated_time is None or self.simulated_time <= 0:
+            return 0.0
+        return 1.0 / self.simulated_time
+
+
+@dataclass
+class ComparisonResult:
+    """All systems' results for one (model, cluster) workload."""
+
+    model: str
+    num_gpus: int
+    cluster: str
+    results: Dict[str, SystemResult]
+
+    def time_of(self, system: str) -> Optional[float]:
+        result = self.results.get(system)
+        return result.simulated_time if result else None
+
+    def best_baseline(self) -> Optional[SystemResult]:
+        """The fastest non-HAP system that does not run out of memory."""
+        candidates = [
+            r
+            for name, r in self.results.items()
+            if name != "HAP" and r.simulated_time is not None and not r.out_of_memory
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda r: r.simulated_time)
+
+    def hap_speedup(self) -> Optional[float]:
+        """Speed-up of HAP over the best baseline (the paper's headline metric)."""
+        hap = self.results.get("HAP")
+        best = self.best_baseline()
+        if hap is None or best is None or hap.simulated_time in (None, 0.0):
+            return None
+        return best.simulated_time / hap.simulated_time
+
+
+def compare_systems(
+    model_name: str,
+    cluster: ClusterSpec,
+    num_gpus: Optional[int] = None,
+    systems: Sequence[str] = DEFAULT_SYSTEMS,
+    scale: Optional[BenchmarkScale] = None,
+    planner_config: Optional[PlannerConfig] = None,
+    synthesis_config: Optional[SynthesisConfig] = None,
+    training_graph: Optional[ComputationGraph] = None,
+    simulator_seed: int = 0,
+    simulation_iterations: int = 3,
+) -> ComparisonResult:
+    """Plan and simulate every requested system on one workload.
+
+    Args:
+        model_name: benchmark model name or paper alias.
+        cluster: target cluster.
+        num_gpus: number of GPUs for weak scaling (defaults to the cluster's).
+        systems: which systems to evaluate.
+        scale: model scale (paper or reduced).
+        planner_config: configuration for the HAP planner.
+        synthesis_config: configuration shared by baseline planners.
+        training_graph: pre-built training graph (overrides ``model_name``
+            construction; used to avoid rebuilding across systems).
+        simulator_seed: RNG seed of the execution simulator.
+        simulation_iterations: iterations averaged by the simulator.
+
+    Returns:
+        A :class:`ComparisonResult` with one entry per system.
+    """
+    import time as _time
+
+    num_gpus = num_gpus or cluster.num_gpus
+    if training_graph is None:
+        forward = build_model(model_name, num_gpus=num_gpus, scale=scale)
+        training_graph = build_training_graph(forward).graph
+    planner_config = planner_config or default_planner_config()
+    synthesis_config = synthesis_config or replace(
+        planner_config.synthesis, force_data_parallel=False
+    )
+    simulator = ExecutionSimulator(cluster, seed=simulator_seed)
+
+    results: Dict[str, SystemResult] = {}
+    for system in systems:
+        start = _time.perf_counter()
+        if system == "HAP":
+            plan: BaselinePlan = plan_baseline(system, training_graph, cluster, planner_config)
+        else:
+            plan = plan_baseline(system, training_graph, cluster, synthesis_config)
+        planning_seconds = _time.perf_counter() - start
+        simulated: Optional[float] = None
+        if not plan.out_of_memory:
+            simulated = simulator.simulate(
+                plan.program, plan.flat_ratios, iterations=simulation_iterations
+            ).total
+        results[system] = SystemResult(
+            system=system,
+            simulated_time=simulated,
+            estimated_time=plan.estimated_time.total,
+            out_of_memory=plan.out_of_memory,
+            num_collectives=plan.program.num_communications,
+            comm_kinds=plan.program.communication_kinds(),
+            planning_seconds=planning_seconds,
+        )
+    return ComparisonResult(
+        model=model_name,
+        num_gpus=num_gpus,
+        cluster=cluster.name,
+        results=results,
+    )
+
+
+def format_comparison(comparison: ComparisonResult) -> str:
+    """Render one comparison as the per-iteration-time table of Fig. 13/14."""
+    lines = [
+        f"{comparison.model} on {comparison.cluster} ({comparison.num_gpus} GPUs)",
+        f"  {'system':12s} {'sim time (ms)':>14s} {'est time (ms)':>14s} {'collectives':>12s}",
+    ]
+    for name, result in comparison.results.items():
+        sim = "OOM" if result.simulated_time is None else f"{result.simulated_time * 1e3:.1f}"
+        lines.append(
+            f"  {name:12s} {sim:>14s} {result.estimated_time * 1e3:>14.1f} "
+            f"{result.num_collectives:>12d}"
+        )
+    speedup = comparison.hap_speedup()
+    if speedup is not None:
+        lines.append(f"  HAP speed-up over best baseline: {speedup:.2f}x")
+    return "\n".join(lines)

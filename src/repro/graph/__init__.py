@@ -1,0 +1,41 @@
+"""Single-device tensor-program IR: specs, operators, graphs and analyses."""
+
+from .tensor import DType, TensorSpec, scalar, shard_offsets, shard_sizes
+from .ops import OpDef, OpKind, get_op, register_op, registered_ops
+from .graph import ComputationGraph, GraphError, Node
+from .builder import GraphBuilder
+from .analysis import (
+    GraphStats,
+    compute_nodes,
+    consumers_map,
+    cut_bytes,
+    last_use,
+    node_flops_map,
+    segment_flops,
+    segment_graph,
+)
+
+__all__ = [
+    "DType",
+    "TensorSpec",
+    "scalar",
+    "shard_sizes",
+    "shard_offsets",
+    "OpDef",
+    "OpKind",
+    "get_op",
+    "register_op",
+    "registered_ops",
+    "ComputationGraph",
+    "GraphError",
+    "Node",
+    "GraphBuilder",
+    "GraphStats",
+    "compute_nodes",
+    "consumers_map",
+    "cut_bytes",
+    "last_use",
+    "node_flops_map",
+    "segment_flops",
+    "segment_graph",
+]

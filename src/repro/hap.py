@@ -1,0 +1,59 @@
+"""User-facing API, analogous to the paper's ``hap.HAP`` entry point (Sec. 6).
+
+The paper's API takes a single-device PyTorch model plus a device
+specification and returns a distributed model.  Here the "model" is a
+single-device :class:`~repro.graph.graph.ComputationGraph` (forward graph with
+a marked loss, or a full training graph) and the result is a
+:class:`~repro.core.pipeline.HAPPlan` bundling the synthesized distributed
+program, the optimised sharding ratios and the cost estimate.  The plan can be
+executed with the SPMD runtime (:mod:`repro.runtime.spmd`) or replayed on the
+execution simulator (:mod:`repro.simulator`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .autodiff import build_training_graph
+from .cluster.spec import ClusterSpec
+from .core.config import PlannerConfig
+from .core.pipeline import HAPPlan, HAPPlanner
+from .graph.graph import ComputationGraph
+from .graph.ops import OpKind
+
+
+def _is_training_graph(graph: ComputationGraph) -> bool:
+    """True if the graph already contains optimizer-update nodes."""
+    return any(node.kind is OpKind.OPTIMIZER for node in graph)
+
+
+def hap(
+    model: ComputationGraph,
+    cluster: ClusterSpec,
+    config: Optional[PlannerConfig] = None,
+    lr: float = 0.01,
+) -> HAPPlan:
+    """Plan SPMD training of ``model`` on ``cluster``.
+
+    Args:
+        model: a single-device computation graph.  A forward graph with a
+            marked loss is automatically expanded into the full training graph
+            (forward + backward + SGD updates); a graph that already contains
+            ``sgd_update`` nodes is used as-is.
+        cluster: the (possibly heterogeneous) target cluster.
+        config: planner configuration; defaults to full HAP.
+        lr: learning rate used when expanding a forward graph.
+
+    Returns:
+        The :class:`HAPPlan` with program, ratios and estimated iteration time.
+    """
+    graph = model
+    if not _is_training_graph(model):
+        if model.loss is None:
+            raise ValueError(
+                "hap() needs either a training graph (with sgd_update nodes) or a "
+                "forward graph with a marked loss"
+            )
+        graph = build_training_graph(model, lr=lr).graph
+    planner = HAPPlanner(graph, cluster, config)
+    return planner.plan()

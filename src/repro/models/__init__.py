@@ -1,0 +1,45 @@
+"""Benchmark model zoo: VGG19, ViT, BERT-Base and BERT-MoE (Table 1)."""
+
+from .bert import BERTConfig, build_bert, tiny_bert
+from .common import ModelInfo, model_info
+from .moe import BERTMoEConfig, build_bert_moe, tiny_bert_moe
+from .registry import (
+    BenchmarkScale,
+    MODEL_NAMES,
+    MODEL_TASKS,
+    PAPER_ALIASES,
+    PER_DEVICE_BATCH,
+    build_model,
+    build_tiny_model,
+    canonical_name,
+    table1_inventory,
+)
+from .vgg import VGGConfig, VGG19_LAYOUT, build_vgg19, tiny_vgg
+from .vit import ViTConfig, build_vit, tiny_vit
+
+__all__ = [
+    "BERTConfig",
+    "build_bert",
+    "tiny_bert",
+    "ModelInfo",
+    "model_info",
+    "BERTMoEConfig",
+    "build_bert_moe",
+    "tiny_bert_moe",
+    "BenchmarkScale",
+    "MODEL_NAMES",
+    "MODEL_TASKS",
+    "PAPER_ALIASES",
+    "PER_DEVICE_BATCH",
+    "build_model",
+    "build_tiny_model",
+    "canonical_name",
+    "table1_inventory",
+    "VGGConfig",
+    "VGG19_LAYOUT",
+    "build_vgg19",
+    "tiny_vgg",
+    "ViTConfig",
+    "build_vit",
+    "tiny_vit",
+]

@@ -1,0 +1,136 @@
+"""Model registry: build benchmark models by name.
+
+Names follow the paper's ``config.py`` conventions (``Vvgg``, ``Vtransformer``,
+``Rtransformer``, ``Rmoe``) as well as plain aliases (``vgg19``, ``vit``,
+``bert_base``, ``bert_moe``).  Each entry accepts the number of devices so the
+weak-scaling conventions of Sec. 7.1 (global batch proportional to device
+count, MoE experts proportional to device count) are applied automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..graph.graph import ComputationGraph
+from .bert import BERTConfig, build_bert, tiny_bert
+from .common import ModelInfo, model_info
+from .moe import BERTMoEConfig, build_bert_moe, tiny_bert_moe
+from .vgg import VGGConfig, build_vgg19, tiny_vgg
+from .vit import ViTConfig, build_vit, tiny_vit
+
+
+@dataclass(frozen=True)
+class BenchmarkScale:
+    """Controls how large the built benchmark models are.
+
+    The ``paper`` scale matches the configurations of Table 1; the ``reduced``
+    scale keeps the same structure (and therefore the same sharding decisions)
+    but with fewer layers, so that planning and simulation finish quickly in
+    CI; ``tiny`` is for unit tests that actually execute the graphs with numpy.
+    """
+
+    name: str
+    layer_fraction: float
+    batch_per_device: int
+
+    @staticmethod
+    def paper() -> "BenchmarkScale":
+        return BenchmarkScale("paper", layer_fraction=1.0, batch_per_device=64)
+
+    @staticmethod
+    def reduced() -> "BenchmarkScale":
+        return BenchmarkScale("reduced", layer_fraction=0.25, batch_per_device=64)
+
+
+#: Per-GPU batch sizes used by the paper (Sec. 7.1).
+PER_DEVICE_BATCH = {"vgg19": 64, "vit": 64, "bert_base": 64, "bert_moe": 32}
+
+#: Aliases used by the paper's configuration files.
+PAPER_ALIASES = {
+    "Vvgg": "vgg19",
+    "Vtransformer": "vit",
+    "Rtransformer": "bert_base",
+    "Rmoe": "bert_moe",
+}
+
+MODEL_NAMES = ["vgg19", "vit", "bert_base", "bert_moe"]
+MODEL_TASKS = {
+    "vgg19": "Image Classification",
+    "vit": "Image Classification",
+    "bert_base": "Language Model",
+    "bert_moe": "Language Model",
+}
+
+
+def canonical_name(name: str) -> str:
+    """Resolve paper aliases to canonical model names."""
+    resolved = PAPER_ALIASES.get(name, name).lower()
+    if resolved not in MODEL_NAMES:
+        raise KeyError(f"unknown model {name!r}; known: {MODEL_NAMES} (+ aliases {list(PAPER_ALIASES)})")
+    return resolved
+
+
+def _layers(full: int, fraction: float) -> int:
+    return max(1, int(round(full * fraction)))
+
+
+def build_model(
+    name: str,
+    num_gpus: int = 8,
+    scale: Optional[BenchmarkScale] = None,
+    num_experts: Optional[int] = None,
+) -> ComputationGraph:
+    """Build a benchmark model configured for ``num_gpus`` (weak scaling).
+
+    Args:
+        name: model name or paper alias.
+        num_gpus: total number of GPUs participating in training; the global
+            batch size is ``per_device_batch * num_gpus`` and the number of
+            MoE experts is proportional to it.
+        scale: benchmark scale (paper-sized by default).
+        num_experts: override the MoE expert count (used by the Fig. 17
+            uneven-experts study).
+
+    Returns:
+        The forward graph with a marked loss.
+    """
+    name = canonical_name(name)
+    scale = scale or BenchmarkScale.paper()
+    batch = PER_DEVICE_BATCH[name] * num_gpus
+
+    if name == "vgg19":
+        return build_vgg19(VGGConfig(batch_size=batch))
+    if name == "vit":
+        return build_vit(ViTConfig(batch_size=batch, num_layers=_layers(8, scale.layer_fraction)))
+    if name == "bert_base":
+        return build_bert(BERTConfig(batch_size=batch, num_layers=_layers(12, scale.layer_fraction)))
+    if name == "bert_moe":
+        experts = num_experts if num_experts is not None else max(2, 2 * num_gpus)
+        config = BERTMoEConfig(
+            batch_size=batch,
+            num_layers=_layers(12, scale.layer_fraction),
+            num_experts=experts,
+        )
+        return build_bert_moe(config)
+    raise AssertionError("unreachable")
+
+
+def build_tiny_model(name: str) -> ComputationGraph:
+    """Build the unit-test-sized variant of a benchmark model."""
+    name = canonical_name(name)
+    builders: Dict[str, Callable[[], ComputationGraph]] = {
+        "vgg19": tiny_vgg,
+        "vit": tiny_vit,
+        "bert_base": tiny_bert,
+        "bert_moe": tiny_bert_moe,
+    }
+    return builders[name]()
+
+
+def table1_inventory(num_gpus: int = 8) -> List[ModelInfo]:
+    """Model statistics reproducing Table 1 of the paper."""
+    return [
+        model_info(build_model(name, num_gpus=num_gpus), MODEL_TASKS[name])
+        for name in MODEL_NAMES
+    ]

@@ -1,0 +1,89 @@
+"""VGG19 (Simonyan & Zisserman) for image classification.
+
+The paper trains VGG19 on CIFAR-10; its Table 1 reports 133 M parameters,
+which corresponds to the original configuration with 224x224 inputs and the
+4096-wide fully-connected classifier (CIFAR images are upscaled).  The
+fully-connected layers make the model communication-heavy under data
+parallelism, which is exactly the regime where HAP's model-parallel sharding
+pays off (Sec. 7.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+from ..graph.builder import GraphBuilder
+from ..graph.graph import ComputationGraph
+from .common import classification_head, finalize
+
+#: VGG19 configuration "E": output channels or 'M' for 2x2 max-pooling.
+VGG19_LAYOUT: List[Union[int, str]] = [
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, 256, "M",
+    512, 512, 512, 512, "M",
+    512, 512, 512, 512, "M",
+]
+
+
+@dataclass(frozen=True)
+class VGGConfig:
+    """Configuration of the VGG19 benchmark model.
+
+    Attributes:
+        batch_size: global batch size (the paper uses 64 per GPU, weak
+            scaling with the number of devices).
+        image_size: input resolution; 224 reproduces the 133 M-parameter
+            configuration of Table 1, 32 is the native CIFAR-10 size.
+        num_classes: classifier width (10 for CIFAR-10).
+        channel_multiplier: scales every convolution width (used by scaled-
+            down unit-test and benchmark variants).
+        fc_width: width of the two hidden fully-connected layers.
+    """
+
+    batch_size: int = 64
+    image_size: int = 224
+    num_classes: int = 10
+    channel_multiplier: float = 1.0
+    fc_width: int = 4096
+
+    def scaled(self, channels: int) -> int:
+        return max(8, int(round(channels * self.channel_multiplier)))
+
+
+def build_vgg19(config: VGGConfig = VGGConfig()) -> ComputationGraph:
+    """Build the VGG19 forward graph with a summed cross-entropy loss."""
+    b = GraphBuilder("vgg19")
+    x = b.placeholder((config.batch_size, 3, config.image_size, config.image_size), name="images")
+    in_channels = 3
+    for item in VGG19_LAYOUT:
+        if item == "M":
+            x = b.maxpool2d(x, kernel=2, stride=2)
+            continue
+        out_channels = config.scaled(int(item))
+        weight = b.parameter((out_channels, in_channels, 3, 3))
+        x = b.conv2d(x, weight, stride=1, padding=1)
+        x = b.relu(x)
+        in_channels = out_channels
+    x = b.flatten(x)
+    x = b.linear(x, config.fc_width, prefix="fc1")
+    x = b.relu(x)
+    x = b.dropout(x)
+    x = b.linear(x, config.fc_width, prefix="fc2")
+    x = b.relu(x)
+    x = b.dropout(x)
+    loss = classification_head(b, x, config.num_classes, config.batch_size)
+    return finalize(b, loss)
+
+
+def tiny_vgg(batch_size: int = 8, image_size: int = 32, num_classes: int = 10) -> ComputationGraph:
+    """A drastically scaled-down VGG used by unit tests (fast numpy execution)."""
+    config = VGGConfig(
+        batch_size=batch_size,
+        image_size=image_size,
+        num_classes=num_classes,
+        channel_multiplier=0.125,
+        fc_width=64,
+    )
+    return build_vgg19(config)

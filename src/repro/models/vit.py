@@ -1,0 +1,93 @@
+"""Vision Transformer (ViT) for image classification.
+
+The paper's ViT has 54 M parameters (Table 1); that corresponds roughly to a
+ViT with 768-wide hidden states and 8 encoder layers on CIFAR-scale inputs.
+Patch extraction is expressed with reshape/transpose so that the whole model
+consists of operators the synthesizer has sharding rules for, and the batch
+dimension stays outermost throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.builder import GraphBuilder
+from ..graph.graph import ComputationGraph
+from .common import classification_head, finalize
+
+
+@dataclass(frozen=True)
+class ViTConfig:
+    """Configuration of the ViT benchmark model.
+
+    Attributes:
+        batch_size: global batch size.
+        image_size: input resolution (CIFAR-10 images are 32x32).
+        patch_size: square patch edge; ``image_size`` must be divisible by it.
+        hidden_size: transformer width.
+        num_layers: number of encoder layers.
+        num_heads: attention heads.
+        mlp_ratio: FFN width multiplier.
+        num_classes: classifier width.
+    """
+
+    batch_size: int = 64
+    image_size: int = 32
+    patch_size: int = 4
+    hidden_size: int = 768
+    num_layers: int = 8
+    num_heads: int = 12
+    mlp_ratio: int = 4
+    num_classes: int = 10
+
+    @property
+    def num_patches(self) -> int:
+        return (self.image_size // self.patch_size) ** 2
+
+    @property
+    def patch_dim(self) -> int:
+        return 3 * self.patch_size * self.patch_size
+
+
+def build_vit(config: ViTConfig = ViTConfig()) -> ComputationGraph:
+    """Build the ViT forward graph with a summed cross-entropy loss."""
+    if config.image_size % config.patch_size:
+        raise ValueError("image_size must be divisible by patch_size")
+    b = GraphBuilder("vit")
+    batch, side, patch = config.batch_size, config.image_size, config.patch_size
+    grid = side // patch
+
+    images = b.placeholder((batch, 3, side, side), name="images")
+    # Patchify: (B, 3, H, W) -> (B, grid*grid, 3*patch*patch)
+    x = b.reshape(images, (batch, 3, grid, patch, grid, patch))
+    x = b.transpose(x, (0, 2, 4, 1, 3, 5))
+    x = b.reshape(x, (batch, grid * grid, config.patch_dim))
+    # Patch embedding.
+    x = b.linear(x, config.hidden_size, prefix="patch_embed")
+    for i in range(config.num_layers):
+        x = b.transformer_layer(
+            x,
+            num_heads=config.num_heads,
+            ffn_hidden=config.hidden_size * config.mlp_ratio,
+            prefix=f"encoder{i}",
+        )
+    x = b.layernorm(x)
+    # Mean-pool over patches, expressed as reshape + scaled sum_leading-free
+    # path: flatten patches into features and classify (keeps batch dim 0).
+    x = b.reshape(x, (batch, config.num_patches * config.hidden_size))
+    loss = classification_head(b, x, config.num_classes, batch)
+    return finalize(b, loss)
+
+
+def tiny_vit(batch_size: int = 8, hidden_size: int = 32, num_layers: int = 1) -> ComputationGraph:
+    """Scaled-down ViT used by unit tests."""
+    config = ViTConfig(
+        batch_size=batch_size,
+        image_size=16,
+        patch_size=4,
+        hidden_size=hidden_size,
+        num_layers=num_layers,
+        num_heads=4,
+        num_classes=10,
+    )
+    return build_vit(config)

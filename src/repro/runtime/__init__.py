@@ -1,0 +1,5 @@
+"""Numpy execution runtimes: single-device reference and SPMD emulation."""
+
+from .single import SingleDeviceExecutor, init_parameters, make_batch
+
+__all__ = ["SingleDeviceExecutor", "init_parameters", "make_batch"]

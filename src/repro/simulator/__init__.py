@@ -1,0 +1,5 @@
+"""Execution simulator: the reproduction's stand-in for running on GPUs."""
+
+from .engine import ExecutionSimulator, OverheadModel, SimulationResult, simulate_plan
+
+__all__ = ["ExecutionSimulator", "OverheadModel", "SimulationResult", "simulate_plan"]

@@ -1,0 +1,140 @@
+"""Tests for the cluster model and the simulated profiler."""
+
+import pytest
+
+from repro.cluster import (
+    DEVICE_CATALOG,
+    ClusterSpec,
+    Machine,
+    NetworkSpec,
+    SimulatedProfiler,
+    a100_p100_pair,
+    a100_pair,
+    device_type,
+    heterogeneous_testbed,
+    homogeneous_testbed,
+    p100_a100_mixed,
+)
+from repro.collectives import CollectiveKind
+
+
+class TestDevices:
+    def test_catalog_contains_paper_gpus(self):
+        for name in ("V100", "P100", "A100"):
+            assert name in DEVICE_CATALOG
+
+    def test_lookup_case_insensitive(self):
+        assert device_type("v100") is DEVICE_CATALOG["V100"]
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(KeyError):
+            device_type("H9000")
+
+    def test_flops_ordering_matches_hardware(self):
+        assert device_type("A100").flops > device_type("V100").flops > device_type("P100").flops
+
+    def test_machine_aggregates(self):
+        machine = Machine("m", device_type("V100"), num_gpus=8)
+        assert machine.total_flops == pytest.approx(8 * device_type("V100").flops)
+        assert machine.total_memory == 8 * device_type("V100").memory_bytes
+
+
+class TestClusterSpec:
+    def test_heterogeneous_testbed_64(self):
+        cluster = heterogeneous_testbed(64)
+        assert cluster.num_gpus == 64
+        assert cluster.num_devices == 8  # machine-level virtual devices
+        assert cluster.is_heterogeneous()
+        gpu_names = {m.gpu.name for m in cluster.machines}
+        assert gpu_names == {"V100", "P100"}
+
+    def test_heterogeneous_testbed_machine_mix(self):
+        cluster = heterogeneous_testbed(64)
+        v100 = sum(1 for m in cluster.machines if m.gpu.name == "V100")
+        assert v100 == 2
+
+    def test_homogeneous_testbed(self):
+        cluster = homogeneous_testbed(32)
+        assert not cluster.is_heterogeneous()
+        assert cluster.num_devices == 4
+
+    def test_invalid_gpu_count_rejected(self):
+        with pytest.raises(ValueError):
+            heterogeneous_testbed(13)
+
+    def test_per_gpu_virtual_devices(self):
+        cluster = a100_p100_pair()
+        assert cluster.num_devices == 4
+        assert cluster.num_gpus == 4
+
+    def test_proportional_ratios_favour_fast_devices(self):
+        cluster = p100_a100_mixed()
+        ratios = cluster.proportional_ratios()
+        assert sum(ratios) == pytest.approx(1.0)
+        # devices 0,1 are P100, 2,3 are A100
+        assert ratios[2] > ratios[0]
+
+    def test_even_ratios(self):
+        cluster = a100_pair()
+        assert cluster.even_ratios() == [0.25] * 4
+
+    def test_subset(self):
+        cluster = heterogeneous_testbed(64)
+        sub = cluster.subset(2)
+        assert sub.num_gpus == 16
+        with pytest.raises(ValueError):
+            cluster.subset(0)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec([])
+
+    def test_describe_mentions_bandwidth(self):
+        assert "Gbps" in heterogeneous_testbed(16).describe()
+
+    def test_total_flops_and_memory(self):
+        cluster = homogeneous_testbed(16)
+        assert cluster.total_flops() == pytest.approx(sum(cluster.device_flops()))
+        assert cluster.total_memory() == sum(cluster.device_memory())
+
+    def test_default_network_matches_paper(self):
+        net = NetworkSpec()
+        assert net.bandwidth == pytest.approx(10.4e9 / 8)
+
+
+class TestProfiler:
+    def test_device_flops_close_to_nominal(self):
+        cluster = heterogeneous_testbed(16)
+        profile = SimulatedProfiler(cluster, noise=0.02, seed=1).profile()
+        for measured, device in zip(profile.device_flops, cluster.virtual_devices):
+            assert measured == pytest.approx(device.flops, rel=0.15)
+
+    def test_comm_models_fitted_for_all_kinds(self):
+        profile = SimulatedProfiler(a100_pair(), seed=0).profile()
+        for kind in (CollectiveKind.ALL_REDUCE, CollectiveKind.ALL_GATHER, CollectiveKind.ALL_TO_ALL):
+            assert kind in profile.comm_models
+            model = profile.comm_models[kind]
+            assert model.bandwidth > 0
+            assert model.latency >= 0
+
+    def test_fitted_model_monotonic(self):
+        profile = SimulatedProfiler(a100_pair(), seed=0).profile()
+        model = profile.comm_models[CollectiveKind.ALL_REDUCE]
+        assert model.time(1e6) < model.time(64e6)
+
+    def test_fit_close_to_analytic_model(self):
+        cluster = a100_pair()
+        profile = SimulatedProfiler(cluster, noise=0.01, seed=2).profile()
+        from repro.collectives import CollectiveCostModel
+
+        analytic = CollectiveCostModel(cluster)
+        nbytes = 32e6
+        fitted = profile.comm_time(CollectiveKind.ALL_REDUCE, nbytes)
+        truth = analytic.all_reduce(nbytes)
+        assert fitted == pytest.approx(truth, rel=0.3)
+
+    def test_profiling_is_deterministic_per_seed(self):
+        cluster = a100_pair()
+        a = SimulatedProfiler(cluster, seed=7).profile()
+        b = SimulatedProfiler(cluster, seed=7).profile()
+        assert a.device_flops == b.device_flops

@@ -1,0 +1,292 @@
+"""Tests for the background theory: properties, sharding variants, Hoare rules."""
+
+import pytest
+
+from repro.core import (
+    DistState,
+    Property,
+    StateKind,
+    SynthesisConfig,
+    build_theory,
+    moe_restricted_refs,
+    node_variants,
+    partial,
+    replicated,
+    sharded,
+)
+from repro.collectives import CollectiveKind
+from repro.core.rules import _reshape_dim_map, source_variants
+from repro.graph import GraphBuilder, DType
+
+
+class TestProperties:
+    def test_state_constructors(self):
+        assert DistState.replicated().is_replicated
+        assert DistState.partial().is_partial
+        assert DistState.sharded(1).dim == 1
+
+    def test_invalid_states(self):
+        with pytest.raises(ValueError):
+            DistState(StateKind.SHARDED, None)
+        with pytest.raises(ValueError):
+            DistState(StateKind.REPLICATED, 2)
+
+    def test_property_helpers(self):
+        assert replicated("x").state.is_replicated
+        assert partial("x").state.is_partial
+        assert sharded("x", 2).state.dim == 2
+
+    def test_properties_hashable_and_equal(self):
+        assert sharded("x", 1) == sharded("x", 1)
+        assert len({sharded("x", 1), sharded("x", 1), replicated("x")}) == 2
+
+    def test_str_matches_paper_notation(self):
+        assert "all-gather(0)" in str(sharded("e1", 0))
+        assert "all-reduce" in str(partial("e1"))
+        assert "identity" in str(replicated("e1"))
+
+
+def variant_states(graph, node_name, num_devices=4, cfg=None):
+    cfg = cfg or SynthesisConfig()
+    node = graph[node_name]
+    return node_variants(node, graph, cfg, num_devices)
+
+
+class TestNodeVariants:
+    def make_matmul(self, a_shape, b_shape):
+        b = GraphBuilder()
+        x = b.placeholder(a_shape, name="a")
+        w = b.parameter(b_shape, name="w")
+        y = b.matmul(x, w)
+        g = b.build()
+        return g, y
+
+    def test_matmul_2d_has_paper_rules(self):
+        g, y = self.make_matmul((16, 32), (32, 64))
+        variants = variant_states(g, y)
+        outs = {(v.input_states, v.output_state) for v in variants}
+        S, R, P = DistState.sharded, DistState.replicated(), DistState.partial()
+        assert ((S(0), R), S(0)) in outs          # data parallelism
+        assert ((R, S(1)), S(1)) in outs          # column (feature) parallelism
+        assert ((S(1), S(0)), P) in outs          # reduction parallelism
+        assert ((R, R), R) in outs                # duplicated compute (SFB)
+
+    def test_matmul_sfb_rule_removed_when_disabled(self):
+        g, y = self.make_matmul((16, 32), (32, 64))
+        variants = variant_states(g, y, cfg=SynthesisConfig(enable_sfb=False))
+        assert not any(
+            all(s.is_replicated for s in v.input_states) for v in variants
+        )
+
+    def test_matmul_small_dims_not_sharded(self):
+        g, y = self.make_matmul((2, 32), (32, 3))
+        variants = variant_states(g, y)
+        for v in variants:
+            assert v.output_state != DistState.sharded(0) or v.input_states[0] != DistState.sharded(0)
+
+    def test_elementwise_propagates_every_dim(self):
+        b = GraphBuilder()
+        x = b.placeholder((8, 16), name="x")
+        y = b.relu(x)
+        g = b.build()
+        variants = variant_states(g, y)
+        sharded_dims = {v.output_state.dim for v in variants if v.output_state.is_sharded}
+        assert sharded_dims == {0, 1}
+
+    def test_add_propagates_partial(self):
+        b = GraphBuilder()
+        x = b.placeholder((8, 8), name="x")
+        y = b.placeholder((8, 8), name="y")
+        z = b.add(x, y)
+        g = b.build()
+        variants = variant_states(g, z)
+        assert any(
+            v.output_state.is_partial and all(s.is_partial for s in v.input_states)
+            for v in variants
+        )
+
+    def test_softmax_never_sharded_on_axis(self):
+        b = GraphBuilder()
+        x = b.placeholder((8, 16), name="x")
+        y = b.softmax(x, axis=-1)
+        g = b.build()
+        variants = variant_states(g, y)
+        for v in variants:
+            if v.output_state.is_sharded:
+                assert v.output_state.dim != 1
+
+    def test_cross_entropy_batch_sharding_gives_partial_loss(self):
+        b = GraphBuilder()
+        logits = b.placeholder((16, 8), name="logits")
+        labels = b.placeholder((16,), dtype=DType.INT64, name="labels")
+        loss = b.cross_entropy(logits, labels)
+        g = b.build()
+        variants = variant_states(g, loss)
+        assert any(v.output_state.is_partial for v in variants)
+
+    def test_sgd_update_requires_matching_states(self):
+        b = GraphBuilder()
+        p = b.parameter((32, 32), name="p")
+        grad = b.placeholder((32, 32), name="g")
+        g = b.build()
+        g.add_node("upd", "sgd_update", (p, grad))
+        variants = variant_states(g, "upd")
+        for v in variants:
+            assert v.input_states[0] == v.input_states[1]
+
+    def test_conv_only_batch_sharded(self):
+        b = GraphBuilder()
+        x = b.placeholder((8, 3, 16, 16), name="x")
+        w = b.parameter((8, 3, 3, 3), name="w")
+        y = b.conv2d(x, w, padding=1)
+        g = b.build()
+        variants = variant_states(g, y)
+        for v in variants:
+            if v.output_state.is_sharded:
+                assert v.output_state.dim == 0
+
+    def test_moe_dispatch_token_sharding_gives_capacity_sharding(self):
+        b = GraphBuilder()
+        tokens = b.placeholder((32, 16), name="tokens")
+        gates = b.placeholder((32, 4), name="gates")
+        d = b.moe_dispatch(tokens, gates)
+        g = b.build()
+        variants = variant_states(g, d)
+        assert any(
+            v.output_state == DistState.sharded(1)
+            and v.input_states == (DistState.sharded(0), DistState.sharded(0))
+            for v in variants
+        )
+
+
+class TestReshapeDimMap:
+    def test_merge_leading_dims(self):
+        assert (0, 0) in _reshape_dim_map((4, 8, 16), (32, 16))
+
+    def test_split_leading_dim(self):
+        assert (0, 0) in _reshape_dim_map((32, 16), (4, 8, 16))
+
+    def test_common_prefix(self):
+        pairs = _reshape_dim_map((4, 8, 16), (4, 8, 4, 4))
+        assert (0, 0) in pairs and (1, 1) in pairs
+
+    def test_common_suffix(self):
+        pairs = _reshape_dim_map((4, 8, 16), (32, 16))
+        assert (2, 1) in pairs
+
+    def test_middle_dim_not_mapped_when_merging(self):
+        pairs = _reshape_dim_map((4, 8, 16), (32, 16))
+        assert all(din != 1 for din, _ in pairs)
+
+
+class TestSourceVariants:
+    def make_param(self, shape):
+        b = GraphBuilder()
+        p = b.parameter(shape, name="p")
+        return b.build()[p]
+
+    def test_default_allows_shard_and_replicate(self):
+        states = source_variants(self.make_param((64, 64)), SynthesisConfig(), 4)
+        assert DistState.replicated() in states
+        assert DistState.sharded(0) in states and DistState.sharded(1) in states
+
+    def test_small_dims_not_sharded(self):
+        states = source_variants(self.make_param((2, 3)), SynthesisConfig(), 4)
+        assert states == [DistState.replicated()]
+
+    def test_force_data_parallel_parameters_replicated(self):
+        cfg = SynthesisConfig(force_data_parallel=True)
+        states = source_variants(self.make_param((64, 64)), cfg, 4)
+        assert states == [DistState.replicated()]
+
+    def test_force_data_parallel_expert_parameters_sharded(self):
+        cfg = SynthesisConfig(force_data_parallel=True, expert_parallel_parameters=True)
+        states = source_variants(self.make_param((8, 64, 64)), cfg, 4)
+        assert states == [DistState.sharded(0)]
+
+    def test_force_data_parallel_placeholder_batch_sharded(self):
+        b = GraphBuilder()
+        x = b.placeholder((64, 8), name="x")
+        node = b.build()[x]
+        cfg = SynthesisConfig(force_data_parallel=True)
+        assert source_variants(node, cfg, 4) == [DistState.sharded(0)]
+
+
+class TestTheory:
+    def test_theory_built_for_training_graph(self, transformer_training, four_device_cluster):
+        theory = build_theory(transformer_training.graph, four_device_cluster.num_devices)
+        assert len(theory) > 100
+        # every non-source node has at least one computation rule
+        from repro.graph.ops import OpKind
+
+        for node in transformer_training.graph:
+            if node.kind is not OpKind.SOURCE:
+                assert node.name in theory.comp_rules_by_node, node.name
+
+    def test_fused_rules_have_no_source_preconditions_variant(self, mlp_training):
+        theory = build_theory(mlp_training.graph, 4)
+        sources = {p.name for p in mlp_training.graph.parameters()}
+        sources |= {p.name for p in mlp_training.graph.placeholders()}
+        fully_fused = [
+            r
+            for rules in theory.comp_rules_by_node.values()
+            for r in rules
+            if not any(p.ref in sources for p in r.pre) and r.completes & sources
+        ]
+        assert fully_fused, "expected at least one rule with inlined source instructions"
+
+    def test_comm_rules_cover_partial_to_replicated(self, mlp_training):
+        theory = build_theory(mlp_training.graph, 4)
+        kinds = {
+            instr.kind
+            for rules in theory.comm_rules_by_ref.values()
+            for rule in rules
+            for instr in rule.instructions
+        }
+        assert CollectiveKind.ALL_REDUCE in kinds
+
+    def test_grouped_all_gather_toggle(self, mlp_training):
+        on = build_theory(mlp_training.graph, 4, SynthesisConfig(enable_grouped_all_gather=True))
+        off = build_theory(mlp_training.graph, 4, SynthesisConfig(enable_grouped_all_gather=False))
+
+        def grouped_count(theory):
+            return sum(
+                1
+                for rules in theory.comm_rules_by_ref.values()
+                for rule in rules
+                for instr in rule.instructions
+                if instr.kind is CollectiveKind.ALL_GATHER_GROUPED
+            )
+
+        assert grouped_count(on) >= grouped_count(off)
+
+    def test_rule_describe_round_trips(self, mlp_training):
+        theory = build_theory(mlp_training.graph, 4)
+        text = theory.describe(limit=5)
+        assert "{" in text and "}" in text
+
+    def test_moe_restricted_refs_cover_capacity_path(self, moe_training):
+        restricted = moe_restricted_refs(moe_training.graph)
+        dispatch_nodes = [n.name for n in moe_training.graph if n.op == "moe_dispatch"]
+        assert dispatch_nodes
+        for name in dispatch_nodes:
+            assert name in restricted
+
+    def test_moe_expert_weight_grad_not_restricted(self, moe_training):
+        restricted = moe_restricted_refs(moe_training.graph)
+        grads = [
+            grad
+            for param, grad in moe_training.gradients.items()
+            if moe_training.graph[param].spec.rank == 3
+        ]
+        assert grads
+        for grad in grads:
+            assert grad not in restricted
+
+    def test_restricted_refs_only_all_to_all(self, moe_training, four_device_cluster):
+        theory = build_theory(moe_training.graph, four_device_cluster.num_devices)
+        for ref in theory.restricted_refs:
+            for rule in theory.comm_rules_by_ref.get(ref, []):
+                for instr in rule.instructions:
+                    if instr.is_communication and instr.input.ref == ref:
+                        assert instr.kind is CollectiveKind.ALL_TO_ALL

@@ -1,0 +1,121 @@
+"""Tests for tensor specs and integer shard-size rounding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import DType, TensorSpec, scalar, shard_offsets, shard_sizes
+
+
+class TestTensorSpec:
+    def test_basic_properties(self):
+        spec = TensorSpec((4, 8, 16))
+        assert spec.rank == 3
+        assert spec.numel == 4 * 8 * 16
+        assert spec.size_bytes == spec.numel * 4
+        assert spec.dim(1) == 8
+        assert spec.dim(-1) == 16
+
+    def test_scalar(self):
+        spec = scalar()
+        assert spec.rank == 0
+        assert spec.numel == 1
+        assert spec.shape == ()
+
+    def test_dtype_sizes(self):
+        assert TensorSpec((2,), DType.FLOAT16).size_bytes == 4
+        assert TensorSpec((2,), DType.INT64).size_bytes == 16
+        assert TensorSpec((2,), DType.BOOL).size_bytes == 2
+
+    def test_with_dim(self):
+        spec = TensorSpec((4, 8)).with_dim(1, 3)
+        assert spec.shape == (4, 3)
+
+    def test_with_dim_negative_axis(self):
+        spec = TensorSpec((4, 8)).with_dim(-1, 5)
+        assert spec.shape == (4, 5)
+
+    def test_with_dim_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            TensorSpec((4, 8)).with_dim(0, 0)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec((0, 3))
+        with pytest.raises(ValueError):
+            TensorSpec((2, -1))
+        with pytest.raises(ValueError):
+            TensorSpec((2.5, 1))  # type: ignore[arg-type]
+
+    def test_shardable_dims_skips_singletons(self):
+        assert TensorSpec((1, 8, 1, 4)).shardable_dims() == (1, 3)
+
+    def test_shard_even_split(self):
+        spec = TensorSpec((10, 4))
+        shards = [spec.shard(0, 3, i) for i in range(3)]
+        assert [s.shape[0] for s in shards] == [4, 3, 3]
+        assert sum(s.shape[0] for s in shards) == 10
+
+    def test_shard_too_many_pieces(self):
+        with pytest.raises(ValueError):
+            TensorSpec((2, 4)).shard(0, 5, 4)
+
+    def test_str_rendering(self):
+        assert "float32" in str(TensorSpec((2, 3)))
+
+
+class TestShardSizes:
+    def test_proportional(self):
+        assert shard_sizes(100, [0.5, 0.25, 0.25]) == (50, 25, 25)
+
+    def test_sums_to_total_with_rounding(self):
+        sizes = shard_sizes(10, [0.33, 0.33, 0.34])
+        assert sum(sizes) == 10
+
+    def test_zero_ratio_gives_zero_shard(self):
+        sizes = shard_sizes(8, [1.0, 0.0])
+        assert sizes == (8, 0)
+
+    def test_all_zero_ratios_fall_back_to_even(self):
+        assert shard_sizes(8, [0.0, 0.0]) == (4, 4)
+
+    def test_negative_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            shard_sizes(8, [0.5, -0.5])
+
+    def test_empty_ratios_rejected(self):
+        with pytest.raises(ValueError):
+            shard_sizes(8, [])
+
+    def test_offsets(self):
+        assert shard_offsets((3, 2, 5)) == (0, 3, 5)
+
+    @given(
+        total=st.integers(min_value=0, max_value=2000),
+        ratios=st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=8),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_property_sum_and_nonnegative(self, total, ratios):
+        sizes = shard_sizes(total, ratios)
+        assert sum(sizes) == total
+        assert all(s >= 0 for s in sizes)
+        assert len(sizes) == len(ratios)
+
+    @given(
+        total=st.integers(min_value=1, max_value=1000),
+        parts=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_even_ratios_balanced(self, total, parts):
+        sizes = shard_sizes(total, [1.0] * parts)
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(
+        total=st.integers(min_value=10, max_value=5000),
+        dominant=st.floats(min_value=0.6, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_dominant_ratio_gets_largest_shard(self, total, dominant):
+        rest = (1.0 - dominant) / 3
+        sizes = shard_sizes(total, [dominant, rest, rest, rest])
+        assert sizes[0] == max(sizes)
