@@ -1,0 +1,6 @@
+"""Benchmark suite regenerating the paper's tables and figures.
+
+Making this directory a package lets the ``from .conftest import ...`` lines
+in the benchmark modules resolve when pytest imports them with the repository
+root on ``sys.path``.
+"""

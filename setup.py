@@ -1,8 +1,9 @@
 """Setuptools shim.
 
-Kept so that ``pip install -e . --no-build-isolation --no-use-pep517`` works
-on offline machines that lack the ``wheel`` package (PEP 660 editable installs
-require it); all project metadata lives in ``pyproject.toml``.
+All project metadata lives in ``pyproject.toml``; this file is kept so that
+offline machines lacking the ``wheel`` package (PEP 660 editable installs
+require it) can still do a development install with ``python setup.py
+develop`` or ``pip install -e . --no-build-isolation --no-use-pep517``.
 """
 
 from setuptools import setup

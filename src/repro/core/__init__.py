@@ -4,6 +4,7 @@ from .config import LoadBalancerConfig, PlannerConfig, SynthesisConfig
 from .costmodel import CostBreakdown, CostModel, StageCoefficients
 from .instructions import CommInstruction, CompInstruction, Instruction, is_source_op
 from .load_balancer import LoadBalanceResult, LoadBalancer, integer_shard_sizes
+from .pareto import ParetoFront, ParetoStore, dominates
 from .pipeline import HAPPlan, HAPPlanner, OptimizationRound
 from .program import DistributedProgram, Stage
 from .properties import DistState, Property, StateKind, partial, replicated, sharded
@@ -24,6 +25,9 @@ __all__ = [
     "LoadBalancer",
     "LoadBalanceResult",
     "integer_shard_sizes",
+    "ParetoFront",
+    "ParetoStore",
+    "dominates",
     "HAPPlanner",
     "HAPPlan",
     "OptimizationRound",

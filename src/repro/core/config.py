@@ -44,6 +44,28 @@ class SynthesisConfig:
         use_subsumption_pruning: prune programs whose property set is a subset
             of a cheaper program's (lines 9-14 of Fig. 10) in addition to the
             exact-state dominance check.
+        enable_rule_indexing: precompute candidate-rule indexes (completion
+            bitmasks, per-node topological candidate lists, per-property
+            enabling-collective lists, consumer liveness masks) so the search
+            never scans the full rule list per expansion.  Purely an
+            implementation speed-up: the candidate sets, their order, and
+            therefore the synthesized program are identical with the flag off.
+        enable_state_interning: intern search-state keys (the
+            ``(properties, completed, communicated)`` triple) to small integer
+            ids so dominance-table and beam-merge lookups hash a machine word
+            instead of re-hashing large frozensets, and canonicalize equal
+            ``Property`` objects across the theory's rules at build time so
+            frozenset operations hit the pointer-equality fast path.
+            Result-identical.
+        enable_pareto_store: store the per-state-key undominated cost vectors
+            in a sum-sorted Pareto front with early-exit dominance checks
+            instead of a flat list scanned in full.  The dominance predicate
+            (and its tolerance) is unchanged, so accept/reject decisions — and
+            the synthesized program — are identical.
+        enable_cost_memoization: memoize per-(rule, sharding-ratio-signature)
+            cost-model evaluations across expansions.  The cached values are
+            replayed in the original per-instruction order, so the accumulated
+            floating-point costs are bit-identical to the unmemoized path.
     """
 
     enable_sfb: bool = True
@@ -55,6 +77,12 @@ class SynthesisConfig:
     follow_topological_order: bool = True
     use_subsumption_pruning: bool = False
     search_strategy: str = "beam"
+    # Hot-path optimisation switches (all result-identical; kept individually
+    # toggleable for A/B benchmarking — see benchmarks/bench_synthesis.py).
+    enable_rule_indexing: bool = True
+    enable_state_interning: bool = True
+    enable_pareto_store: bool = True
+    enable_cost_memoization: bool = True
     # Baseline-emulation switches (used by repro.baselines, not by HAP itself):
     # restrict the theory so only data-parallel programs exist, optionally with
     # expert parallelism for rank-3 (expert) parameters.

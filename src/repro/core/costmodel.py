@@ -65,17 +65,32 @@ class CostBreakdown:
 
 
 class CostModel:
-    """Estimates ``t(Q, B)`` for distributed programs on a cluster."""
+    """Estimates ``t(Q, B)`` for distributed programs on a cluster.
 
-    def __init__(self, graph: ComputationGraph, cluster: ClusterSpec) -> None:
+    Args:
+        graph: the single-device training graph being distributed.
+        cluster: the target cluster.
+        memoize: cache per-(instruction, ratios-signature) evaluations of
+            :meth:`comp_times` and :meth:`comm_time`.  During synthesis the
+            same rule is applied to thousands of partial programs under the
+            same sharding ratios, so the hit rate is very high; the cached
+            values are exactly what the uncached path computes.
+    """
+
+    def __init__(
+        self, graph: ComputationGraph, cluster: ClusterSpec, memoize: bool = True
+    ) -> None:
         self.graph = graph
         self.cluster = cluster
         self.devices = cluster.virtual_devices
         self.num_devices = cluster.num_devices
         self.collectives = CollectiveCostModel(cluster)
+        self.memoize = memoize
         self._flops_cache: Dict[str, float] = {}
         self._bytes_cache: Dict[str, int] = {}
         self._device_flops = cluster.device_flops()
+        self._comp_memo: Dict[Tuple[CompInstruction, Tuple[float, ...]], Tuple[float, ...]] = {}
+        self._comm_memo: Dict[Tuple[CommInstruction, Tuple[float, ...]], float] = {}
 
     # -- per-node cached quantities ------------------------------------------
     def node_flops(self, name: str) -> float:
@@ -89,8 +104,17 @@ class CostModel:
         return self._bytes_cache[name]
 
     # -- per-instruction costs --------------------------------------------------
-    def comp_times(self, instr: CompInstruction, ratios: Sequence[float]) -> List[float]:
+    def comp_times(self, instr: CompInstruction, ratios: Sequence[float]) -> Sequence[float]:
         """Per-device execution time of one computation instruction."""
+        if self.memoize:
+            key = (instr, tuple(ratios))
+            cached = self._comp_memo.get(key)
+            if cached is None:
+                cached = self._comp_memo[key] = tuple(self._comp_times(instr, ratios))
+            return cached
+        return self._comp_times(instr, ratios)
+
+    def _comp_times(self, instr: CompInstruction, ratios: Sequence[float]) -> List[float]:
         flops = self.node_flops(instr.node)
         times: List[float] = []
         for j, device in enumerate(self.devices):
@@ -116,6 +140,15 @@ class CostModel:
 
     def comm_time(self, instr: CommInstruction, ratios: Sequence[float]) -> float:
         """Execution time of one collective instruction."""
+        if self.memoize:
+            key = (instr, tuple(ratios))
+            cached = self._comm_memo.get(key)
+            if cached is None:
+                cached = self._comm_memo[key] = self._comm_time(instr, ratios)
+            return cached
+        return self._comm_time(instr, ratios)
+
+    def _comm_time(self, instr: CommInstruction, ratios: Sequence[float]) -> float:
         nbytes = float(self.ref_bytes(instr.input.ref))
         time = self.collectives.collective_time(instr.kind, nbytes, ratios)
         time += self._intra_collective_overhead(nbytes, ratios)

@@ -47,6 +47,17 @@ class CompInstruction:
     output: Property
     flops_sharded: bool = True
 
+    def __post_init__(self) -> None:
+        # Instructions key the cost-model memo tables; cache the hash.
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((self.node, self.op, self.inputs, self.output, self.flops_sharded)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
     @property
     def is_communication(self) -> bool:
         return False
@@ -80,6 +91,16 @@ class CommInstruction:
     output: Property
     dim: Optional[int] = None
     dim2: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((self.kind, self.input, self.output, self.dim, self.dim2)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     @property
     def node(self) -> str:

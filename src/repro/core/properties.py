@@ -40,6 +40,12 @@ class DistState:
             raise ValueError("sharded state requires a non-negative dimension")
         if self.kind is not StateKind.SHARDED and self.dim is not None:
             raise ValueError(f"{self.kind.value} state must not carry a dimension")
+        # States are hashed millions of times by the synthesizer's dominance
+        # tables; precompute the (immutable) hash once.
+        object.__setattr__(self, "_hash", hash((self.kind, self.dim)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     # -- convenience constructors ------------------------------------------
     @staticmethod
@@ -85,6 +91,12 @@ class Property:
 
     ref: str
     state: DistState
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.ref, self.state)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.ref} | {self.state}"

@@ -121,6 +121,15 @@ class Theory:
                 primary = _primary_completed_node(rule, graph)
                 if primary is not None:
                     self.comp_rules_by_node.setdefault(primary, []).append(rule)
+        # Communication rules indexed by the property they establish.  Lists
+        # preserve the relative order of ``comm_rules_by_ref`` so that indexed
+        # candidate enumeration visits rules in exactly the same order as a
+        # filtering scan of that table (byte-identical synthesis results).
+        self.comm_rules_by_post: Dict[Property, List[Rule]] = {}
+        for rules_for_ref in self.comm_rules_by_ref.values():
+            for rule in rules_for_ref:
+                for prop in rule.post:
+                    self.comm_rules_by_post.setdefault(prop, []).append(rule)
 
     def __len__(self) -> int:
         return len(self.rules)
@@ -593,7 +602,58 @@ def build_theory(
                 )
 
     rules = all_comp_rules + comm_rules
+    if cfg.enable_state_interning:
+        rules = _intern_rules(rules)
     return Theory(graph, num_devices, cfg, rules, restricted)
+
+
+def _intern_rules(rules: List[Rule]) -> List[Rule]:
+    """Canonicalize equal ``Property`` objects across all rules.
+
+    Different rules independently construct equal ``Property`` instances for
+    the same (ref, state) pair.  Replacing them with one canonical object per
+    value lets the synthesizer's frozenset operations (subset checks, unions,
+    dominance-key hashing) hit the pointer-equality fast path instead of
+    falling back to field-by-field ``__eq__``.  Values are unchanged, so the
+    synthesized programs compare equal to the non-interned ones.
+    """
+    pool: Dict[Property, Property] = {}
+
+    def canon(prop: Property) -> Property:
+        cached = pool.get(prop)
+        if cached is None:
+            cached = pool[prop] = prop
+        return cached
+
+    def canon_instr(instr: Instruction) -> Instruction:
+        if isinstance(instr, CommInstruction):
+            return CommInstruction(
+                kind=instr.kind,
+                input=canon(instr.input),
+                output=canon(instr.output),
+                dim=instr.dim,
+                dim2=instr.dim2,
+            )
+        return CompInstruction(
+            node=instr.node,
+            op=instr.op,
+            inputs=tuple(canon(p) for p in instr.inputs),
+            output=canon(instr.output),
+            flops_sharded=instr.flops_sharded,
+        )
+
+    out: List[Rule] = []
+    for rule in rules:
+        out.append(
+            Rule(
+                pre=frozenset(canon(p) for p in rule.pre),
+                instructions=tuple(canon_instr(i) for i in rule.instructions),
+                post=frozenset(canon(p) for p in rule.post),
+                completes=rule.completes,
+                communicates=rule.communicates,
+            )
+        )
+    return out
 
 
 def _fuse_sources(

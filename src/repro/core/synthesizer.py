@@ -35,9 +35,16 @@ from ..graph.ops import OpKind
 from .config import SynthesisConfig
 from .costmodel import CostModel
 from .instructions import CommInstruction, CompInstruction, Instruction
+from .pareto import ParetoFront
 from .program import DistributedProgram
 from .properties import Property
 from .rules import Rule, Theory, build_theory
+
+#: Markers of the per-rule cost plan replayed by ``_apply`` when cost
+#: memoization is enabled: a synchronising collective (closes the open stage)
+#: or a per-device computation-time delta.
+_SYNC = 0
+_COMP = 1
 
 
 class SynthesisError(RuntimeError):
@@ -76,6 +83,7 @@ class _SearchNode:
         "stage_comp",
         "completed_ideal",
         "depth",
+        "topo_ptr",
     )
 
     def __init__(
@@ -89,6 +97,7 @@ class _SearchNode:
         stage_comp: Tuple[float, ...],
         completed_ideal: float,
         depth: int,
+        topo_ptr: int = 0,
     ) -> None:
         self.parent = parent
         self.rule = rule
@@ -99,6 +108,10 @@ class _SearchNode:
         self.stage_comp = stage_comp
         self.completed_ideal = completed_ideal
         self.depth = depth
+        #: index into the synthesizer's topological order of the first node
+        #: not yet emulated (maintained incrementally when rule indexing is
+        #: on; the naive path rescans from the start instead).
+        self.topo_ptr = topo_ptr
 
     def instructions(self) -> List[Instruction]:
         """Reconstruct the instruction sequence by walking parent pointers."""
@@ -111,10 +124,6 @@ class _SearchNode:
         for rule in reversed(rules):
             out.extend(rule.instructions)
         return out
-
-    def cost_vector(self) -> Tuple[float, ...]:
-        """Per-device accumulated cost (closed stages + open-stage compute)."""
-        return tuple(self.closed_cost + c for c in self.stage_comp)
 
     def open_stage_cost(self) -> float:
         return max(self.stage_comp) if self.stage_comp else 0.0
@@ -135,7 +144,9 @@ class ProgramSynthesizer:
         self.cluster = cluster
         self.config = config or SynthesisConfig()
         self.theory = theory or build_theory(graph, cluster.num_devices, self.config)
-        self.cost_model = cost_model or CostModel(graph, cluster)
+        self.cost_model = cost_model or CostModel(
+            graph, cluster, memoize=self.config.enable_cost_memoization
+        )
         self._node_index = {name: i for i, name in enumerate(graph.node_names)}
         self._consumers = graph.consumers()
         self._outputs = set(graph.outputs)
@@ -152,6 +163,43 @@ class ProgramSynthesizer:
         # ``config.follow_topological_order`` is set.
         self._topo_order = [n.name for n in graph if n.kind is not OpKind.SOURCE]
         self._topo_pos = {name: i for i, name in enumerate(self._topo_order)}
+        #: completion-bitmask of each topological-order node (topo_ptr scans).
+        self._topo_masks = [1 << self._node_index[name] for name in self._topo_order]
+        #: all-zero open-stage vector reused by the fast _apply path.
+        self._zero_stage: Tuple[float, ...] = (0.0,) * cluster.num_devices
+        # -- hot-path indexes (config.enable_rule_indexing) -------------------
+        # Each index precomputes a state-independent quantity that the seed
+        # implementation recomputed per expansion; candidate order is
+        # preserved exactly, so synthesis results are identical either way.
+        self._indexing = self.config.enable_rule_indexing
+        #: id(rule) -> bitmask over graph nodes the rule completes.
+        self._completes_mask: Dict[int, int] = {}
+        #: ref -> (consumer bitmask, participates-in-liveness flag).
+        self._liveness_mask: Dict[str, Tuple[int, bool]] = {}
+        #: node name -> candidate rules of the topological-order search.
+        self._topo_candidates: Dict[str, List[Rule]] = {}
+        #: id(rule) -> (completes mask, ideal deltas, liveness candidates).
+        self._rule_static_cache: Dict[int, Tuple[int, Tuple[float, ...], Tuple[str, ...]]] = {}
+        #: id(rule) -> (cost plan, completes mask, ideals, liveness candidates)
+        #: — the single-lookup cache of the fast _apply path (cleared with the
+        #: cost plans whenever the ratios change).
+        self._rule_runtime: Dict[int, Tuple] = {}
+        if self._indexing:
+            for rule in self.theory.rules:
+                mask = 0
+                for name in rule.completes:
+                    mask |= 1 << self._node_index[name]
+                self._completes_mask[id(rule)] = mask
+            for name in graph.node_names:
+                consumers = self._consumers.get(name, [])
+                mask = 0
+                for consumer in consumers:
+                    mask |= 1 << self._node_index[consumer]
+                self._liveness_mask[name] = (mask, bool(consumers) or name in self._outputs)
+        # -- per-search caches -------------------------------------------------
+        #: id(rule) -> cost-replay plan for the current ratios (cost memo).
+        self._rule_plans: Dict[int, Tuple] = {}
+        self._plan_ratios: Optional[Tuple[float, ...]] = None
 
     # -- helpers -----------------------------------------------------------------
     def _ideal(self, name: str) -> float:
@@ -172,20 +220,79 @@ class ProgramSynthesizer:
     def _final_cost(self, node: _SearchNode) -> float:
         return node.closed_cost + node.open_stage_cost()
 
+    def _rule_plan(self, rule: Rule, ratios: Sequence[float]) -> Tuple:
+        """Cost-replay plan of a rule for fixed ratios (cost memoization).
+
+        The plan replays the cost-model evaluations of ``_apply`` in the
+        original per-instruction order, so accumulating it produces the exact
+        floating-point values of the unmemoized path.
+        """
+        plan = self._rule_plans.get(id(rule))
+        if plan is None:
+            steps: List[Tuple[int, object]] = []
+            for instr in rule.instructions:
+                if isinstance(instr, CommInstruction):
+                    if not instr.synchronises:
+                        continue  # local slice: no synchronisation, no cost
+                    steps.append((_SYNC, self.cost_model.comm_time(instr, ratios)))
+                else:
+                    steps.append((_COMP, tuple(self.cost_model.comp_times(instr, ratios))))
+            plan = self._rule_plans[id(rule)] = tuple(steps)
+        return plan
+
+    def _rule_static(self, rule: Rule) -> Tuple[int, Tuple[float, ...], Tuple[str, ...]]:
+        """State-independent per-rule quantities (rule indexing).
+
+        Returns the bitmask of nodes the rule completes, their ideal-time
+        contributions (in the same iteration order as the naive per-name
+        accumulation, so the floating-point heuristic is bit-identical), and
+        the reference tensors whose liveness may change when the rule fires.
+        """
+        info = self._rule_static_cache.get(id(rule))
+        if info is None:
+            mask = 0
+            ideals: List[float] = []
+            dead_candidates: Set[str] = set()
+            for name in rule.completes:
+                mask |= 1 << self._node_index[name]
+                ideals.append(self._ideal(name))
+                dead_candidates.update(self.graph[name].inputs)
+                dead_candidates.add(name)
+            info = (mask, tuple(ideals), tuple(dead_candidates))
+            self._rule_static_cache[id(rule)] = info
+        return info
+
     def _apply(self, node: _SearchNode, rule: Rule, ratios: Sequence[float]) -> _SearchNode:
-        """Append a rule to a partial program, updating state and cost."""
+        """Append a rule to a partial program, updating state and cost.
+
+        The indexed/memoized fast path and the naive path below compute the
+        same quantities (bit-identical floats, equal state sets); the fast
+        path merely replaces per-expansion recomputation with precomputed
+        lookups and keeps the open-stage vector as a tuple.
+        """
+        if self._indexing and self.config.enable_cost_memoization:
+            return self._apply_fast(node, rule, ratios)
         closed = node.closed_cost
         stage = list(node.stage_comp)
-        for instr in rule.instructions:
-            if isinstance(instr, CommInstruction):
-                if not instr.synchronises:
-                    continue  # local slice: no synchronisation, negligible cost
-                closed += (max(stage) if stage else 0.0) + self.cost_model.comm_time(instr, ratios)
-                stage = [0.0] * len(stage)
-            else:
-                times = self.cost_model.comp_times(instr, ratios)
-                for j, t in enumerate(times):
-                    stage[j] += t
+        if self.config.enable_cost_memoization:
+            for kind, payload in self._rule_plan(rule, ratios):
+                if kind == _SYNC:
+                    closed += (max(stage) if stage else 0.0) + payload
+                    stage = [0.0] * len(stage)
+                else:
+                    for j, t in enumerate(payload):
+                        stage[j] += t
+        else:
+            for instr in rule.instructions:
+                if isinstance(instr, CommInstruction):
+                    if not instr.synchronises:
+                        continue  # local slice: no synchronisation, negligible cost
+                    closed += (max(stage) if stage else 0.0) + self.cost_model.comm_time(instr, ratios)
+                    stage = [0.0] * len(stage)
+                else:
+                    times = self.cost_model.comp_times(instr, ratios)
+                    for j, t in enumerate(times):
+                        stage[j] += t
         completed = node.completed
         completed_ideal = node.completed_ideal
         for name in rule.completes:
@@ -204,9 +311,14 @@ class ProgramSynthesizer:
             dead_candidates.update(self.graph[name].inputs)
             dead_candidates.add(name)
         for ref in dead_candidates:
-            consumers = self._consumers.get(ref, [])
-            done = all(completed & (1 << self._node_index[c]) for c in consumers)
-            if done and (consumers or ref in self._outputs):
+            if self._indexing:
+                mask, relevant = self._liveness_mask[ref]
+                done = (completed & mask) == mask
+            else:
+                consumers = self._consumers.get(ref, [])
+                done = all(completed & (1 << self._node_index[c]) for c in consumers)
+                relevant = bool(consumers) or ref in self._outputs
+            if done and relevant:
                 properties = {p for p in properties if p.ref != ref}
         return _SearchNode(
             parent=node,
@@ -218,7 +330,70 @@ class ProgramSynthesizer:
             stage_comp=tuple(stage),
             completed_ideal=completed_ideal,
             depth=node.depth + 1,
+            topo_ptr=self._advance_topo_ptr(node.topo_ptr, completed),
         )
+
+    def _apply_fast(self, node: _SearchNode, rule: Rule, ratios: Sequence[float]) -> _SearchNode:
+        """Indexed + memoized variant of :meth:`_apply` (same results)."""
+        rid = id(rule)
+        runtime = self._rule_runtime.get(rid)
+        if runtime is None:
+            runtime = self._rule_runtime[rid] = (
+                self._rule_plan(rule, ratios),
+                *self._rule_static(rule),
+            )
+        plan, mask, ideals, dead_candidates = runtime
+        closed = node.closed_cost
+        stage = node.stage_comp
+        for kind, payload in plan:
+            if kind == _SYNC:
+                closed += max(stage) + payload
+                stage = self._zero_stage
+            else:
+                stage = tuple([s + t for s, t in zip(stage, payload)])
+        communicated = node.communicated | rule.communicates
+        properties = node.properties | rule.post
+        completed_ideal = node.completed_ideal
+        if mask:
+            completed = node.completed | mask
+            for ideal in ideals:
+                completed_ideal += ideal
+            liveness = self._liveness_mask
+            dead = None
+            for ref in dead_candidates:
+                ref_mask, relevant = liveness[ref]
+                if relevant and (completed & ref_mask) == ref_mask:
+                    if dead is None:
+                        dead = {ref}
+                    else:
+                        dead.add(ref)
+            if dead is not None:
+                properties = frozenset([p for p in properties if p.ref not in dead])
+            topo_ptr = self._advance_topo_ptr(node.topo_ptr, completed)
+        else:
+            # Pure communication rule: no node completed, liveness unchanged.
+            completed = node.completed
+            topo_ptr = node.topo_ptr
+        child = _SearchNode.__new__(_SearchNode)
+        child.parent = node
+        child.rule = rule
+        child.properties = properties
+        child.completed = completed
+        child.communicated = communicated
+        child.closed_cost = closed
+        child.stage_comp = stage
+        child.completed_ideal = completed_ideal
+        child.depth = node.depth + 1
+        child.topo_ptr = topo_ptr
+        return child
+
+    def _advance_topo_ptr(self, ptr: int, completed: int) -> int:
+        """First index >= ptr in topological order not yet emulated."""
+        topo_masks = self._topo_masks
+        n = len(topo_masks)
+        while ptr < n and completed & topo_masks[ptr]:
+            ptr += 1
+        return ptr
 
     def _applicable_rules(self, node: _SearchNode) -> List[Rule]:
         """Rules whose precondition holds and whose application adds something."""
@@ -228,9 +403,14 @@ class ProgramSynthesizer:
             candidates = self._unrestricted_candidates(node)
         out: List[Rule] = []
         props = node.properties
+        completed = node.completed
+        masks = self._completes_mask if self._indexing else None
         for rule in candidates:
             if rule.completes:
-                if any(node.completed & (1 << self._node_index[n]) for n in rule.completes):
+                if masks is not None:
+                    if completed & masks[id(rule)]:
+                        continue
+                elif any(completed & (1 << self._node_index[n]) for n in rule.completes):
                     continue
             else:
                 # pure communication rule: must add a new property
@@ -256,6 +436,11 @@ class ProgramSynthesizer:
 
     def _next_node(self, node: _SearchNode) -> Optional[str]:
         """First non-source node in topological order not yet emulated."""
+        if self._indexing:
+            # topo_ptr is maintained incrementally by _apply.
+            if node.topo_ptr < len(self._topo_order):
+                return self._topo_order[node.topo_ptr]
+            return None
         for name in self._topo_order[self._first_pending(node):]:
             if not node.completed & (1 << self._node_index[name]):
                 return name
@@ -273,10 +458,20 @@ class ProgramSynthesizer:
         pending node.  The communication candidates are restricted to
         collectives whose output property appears in the precondition of one
         of those variants — i.e. collectives that can enable the next node.
+        The candidate list depends only on the next pending node, so with rule
+        indexing enabled it is computed once per node and reused.
         """
         next_node = self._next_node(node)
         if next_node is None:
             return []
+        if self._indexing:
+            cached = self._topo_candidates.get(next_node)
+            if cached is None:
+                cached = self._topo_candidates[next_node] = self._candidates_for(next_node)
+            return cached
+        return self._candidates_for(next_node)
+
+    def _candidates_for(self, next_node: str) -> List[Rule]:
         comp_rules = self.theory.comp_rules_by_node.get(next_node, [])
         needed_props: Set[Property] = set()
         for rule in comp_rules:
@@ -306,11 +501,19 @@ class ProgramSynthesizer:
             SynthesisError: if no complete program exists in the search space
                 (indicates a missing rule for some operator).
         """
-        ratios = list(ratios) if ratios is not None else self.cluster.proportional_ratios()
+        # Keep the ratios as a tuple: the cost-model memo keys on it, and
+        # tuple(t) on a tuple is free.
+        ratios = tuple(ratios) if ratios is not None else tuple(self.cluster.proportional_ratios())
         if len(ratios) != self.cluster.num_devices:
             raise ValueError(
                 f"expected {self.cluster.num_devices} sharding ratios, got {len(ratios)}"
             )
+        # The rule cost plans are only valid for one ratio vector; drop them
+        # when the ratios change between synthesize() calls.
+        if ratios != self._plan_ratios:
+            self._rule_plans.clear()
+            self._rule_runtime.clear()
+            self._plan_ratios = ratios
         if self.config.search_strategy == "beam":
             return self._beam_search(ratios)
         return self._astar_search(ratios)
@@ -363,9 +566,14 @@ class ProgramSynthesizer:
         states: List[_SearchNode] = [self._root()]
         expanded = 0
         generated = 1
+        interning = self.config.enable_state_interning
 
         for node_name in self._topo_order:
-            children: Dict[Tuple, _SearchNode] = {}
+            children: Dict[Tuple, Tuple[_SearchNode, Tuple[float, ...]]] = {}
+            # Keys from different levels never meet in one dict, so the
+            # intern table is per-level — the triples become garbage with the
+            # level instead of accumulating for the whole run.
+            state_ids: Dict[Tuple, int] = {}
             comp_rules = self.theory.comp_rules_by_node.get(node_name, [])
             if not comp_rules:
                 raise SynthesisError(f"no sharding rules for node {node_name!r}")
@@ -375,13 +583,19 @@ class ProgramSynthesizer:
                     for child in self._expand_with_rule(state, rule, ratios):
                         generated += 1
                         key = (child.properties, child.completed, child.communicated)
-                        vector = child.cost_vector()
+                        if interning:
+                            sid = state_ids.get(key)
+                            if sid is None:
+                                sid = state_ids[key] = len(state_ids)
+                            key = sid
+                        closed = child.closed_cost
+                        vector = tuple([closed + c for c in child.stage_comp])
                         existing = children.get(key)
                         if existing is not None and all(
-                            e <= v + 1e-15 for e, v in zip(existing.cost_vector(), vector)
+                            e <= v + 1e-15 for e, v in zip(existing[1], vector)
                         ):
                             continue
-                        children[key] = child
+                        children[key] = (child, vector)
             if not children:
                 raise SynthesisError(
                     f"beam search dead-ended at node {node_name!r}: no variant of the "
@@ -392,7 +606,7 @@ class ProgramSynthesizer:
             # tie-breaker).  The A* heuristic term would be identical for all
             # states at the same level and would therefore make them tie.
             ranked = sorted(
-                children.values(),
+                (entry[0] for entry in children.values()),
                 key=lambda s: (self._final_cost(s), sum(s.stage_comp)),
             )
             states = ranked[:beam_width]
@@ -408,24 +622,53 @@ class ProgramSynthesizer:
     ) -> List[_SearchNode]:
         """Apply a computation rule, inserting enabling collectives if needed."""
         missing = [p for p in rule.pre if p not in state.properties]
-        if any(n for n in rule.completes if state.completed & (1 << self._node_index[n])):
+        if self._indexing:
+            if state.completed & self._completes_mask[id(rule)]:
+                return []
+        elif any(n for n in rule.completes if state.completed & (1 << self._node_index[n])):
             return []
         if not missing:
             return [self._apply(state, rule, ratios)]
-        # Find, for every missing precondition, the collectives that produce it.
+        # Find, for every missing precondition, the collectives that produce
+        # it.  With rule indexing the state-independent "which collectives
+        # establish this property" part comes from the ``comm_rules_by_post``
+        # index (same rules, same order as filtering the per-ref table); only
+        # the per-state filters remain in the loop.
         option_sets: List[List[Rule]] = []
+        props, communicated = state.properties, state.communicated
         for prop in missing:
-            options = [
-                comm
-                for comm in self.theory.comm_rules_by_ref.get(prop.ref, [])
-                if prop in comm.post
-                and comm.pre <= state.properties
-                and not (comm.communicates & state.communicated)
-            ]
+            if self._indexing:
+                options = [
+                    comm
+                    for comm in self.theory.comm_rules_by_post.get(prop, ())
+                    if comm.pre <= props and not (comm.communicates & communicated)
+                ]
+            else:
+                options = [
+                    comm
+                    for comm in self.theory.comm_rules_by_ref.get(prop.ref, [])
+                    if prop in comm.post
+                    and comm.pre <= props
+                    and not (comm.communicates & communicated)
+                ]
             if not options:
                 return []
             option_sets.append(options)
-        results = []
+        results: List[_SearchNode] = []
+        if self._indexing and len(option_sets) > 1:
+            # Share the application of common collective prefixes across
+            # combinations: product() varies the last option set fastest, so a
+            # depth-first walk applies each prefix exactly once while visiting
+            # the combinations (and emitting children) in product() order.
+            def walk(current: _SearchNode, level: int) -> None:
+                if level == len(option_sets):
+                    results.append(self._apply(current, rule, ratios))
+                    return
+                for comm in option_sets[level]:
+                    walk(self._apply(current, comm, ratios), level + 1)
+
+            walk(state, 0)
+            return results
         for combo in itertools.product(*option_sets):
             current = state
             for comm in combo:
@@ -443,15 +686,27 @@ class ProgramSynthesizer:
         heap: List[Tuple[float, int, int, _SearchNode]] = [
             (self._score(root), 0, next(counter), root)
         ]
-        # Dominance table: state key -> list of undominated per-device cost vectors.
+        # Dominance table: state key -> undominated per-device cost vectors.
+        # With ``enable_pareto_store`` the per-key vectors live in a
+        # sum-sorted Pareto front (same dominance predicate, early-exit
+        # scans); otherwise in the seed's flat list scanned in full.
+        use_pareto = self.config.enable_pareto_store
+        interning = self.config.enable_state_interning
+        fronts: Dict[Tuple, ParetoFront] = {}
         best_vectors: Dict[Tuple, List[Tuple[float, ...]]] = {}
         best_complete: Optional[_SearchNode] = None
         best_cost = float("inf")
         expanded = 0
         generated = 1
+        # Interned state-key ids live for the duration of one search.
+        state_ids: Dict[Tuple, int] = {}
+        # Local bindings of loop-invariant lookups (hot loop).
+        output_mask = self._output_mask
+        total_ideal = self._total_ideal
+        heappush, heappop = heapq.heappush, heapq.heappop
 
         while heap:
-            score, _, _, node = heapq.heappop(heap)
+            score, _, _, node = heappop(heap)
             if score >= best_cost:
                 break
             if expanded >= self.config.max_search_steps:
@@ -461,29 +716,47 @@ class ProgramSynthesizer:
             for rule in self._applicable_rules(node):
                 child = self._apply(node, rule, ratios)
                 generated += 1
-                if self._is_complete(child):
-                    cost = self._final_cost(child)
+                closed = child.closed_cost
+                stage_comp = child.stage_comp
+                open_cost = max(stage_comp) if stage_comp else 0.0
+                if (child.completed & output_mask) == output_mask:
+                    cost = closed + open_cost
                     if cost < best_cost:
                         best_cost = cost
                         best_complete = child
                     continue
                 key = (child.properties, child.completed, child.communicated)
-                vector = child.cost_vector()
-                existing = best_vectors.get(key)
-                if existing is not None and any(
-                    all(e <= v + 1e-12 for e, v in zip(vec, vector)) for vec in existing
-                ):
-                    continue  # dominated by an already-known program
-                if existing is None:
-                    best_vectors[key] = [vector]
+                if interning:
+                    sid = state_ids.get(key)
+                    if sid is None:
+                        sid = state_ids[key] = len(state_ids)
+                    key = sid
+                vector = tuple([closed + c for c in stage_comp])
+                if use_pareto:
+                    front = fronts.get(key)
+                    if front is None:
+                        front = fronts[key] = ParetoFront(eps=1e-12)
+                    if not front.insert(vector):
+                        continue  # dominated by an already-known program
                 else:
-                    existing[:] = [
-                        vec for vec in existing if not all(v <= e + 1e-12 for v, e in zip(vector, vec))
-                    ]
-                    existing.append(vector)
-                child_score = self._score(child)
+                    existing = best_vectors.get(key)
+                    if existing is not None and any(
+                        all(e <= v + 1e-12 for e, v in zip(vec, vector)) for vec in existing
+                    ):
+                        continue  # dominated by an already-known program
+                    if existing is None:
+                        best_vectors[key] = [vector]
+                    else:
+                        existing[:] = [
+                            vec for vec in existing if not all(v <= e + 1e-12 for v, e in zip(vector, vec))
+                        ]
+                        existing.append(vector)
+                remaining = total_ideal - child.completed_ideal
+                if remaining < 0.0:
+                    remaining = 0.0
+                child_score = closed + (open_cost if open_cost > remaining else remaining)
                 if child_score < best_cost:
-                    heapq.heappush(heap, (child_score, -child.depth, next(counter), child))
+                    heappush(heap, (child_score, -child.depth, next(counter), child))
 
             if self.config.beam_width is not None and len(heap) > 4 * self.config.beam_width:
                 heap = heapq.nsmallest(self.config.beam_width, heap)

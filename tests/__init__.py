@@ -1,0 +1,1 @@
+"""Test suite for the HAP reproduction (imported as the ``tests`` package)."""
