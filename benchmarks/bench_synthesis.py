@@ -211,6 +211,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--beam-width", type=int, default=32)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail (exit 2) if the optimized/naive speedup on the largest "
+        "model drops below this — the CI regression guard for PR 1's wins",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=Path("BENCH_synthesis.json"),
@@ -226,6 +233,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not report["summary"]["all_parity"]:
         print("ERROR: optimised and naive paths disagree", file=sys.stderr)
         return 1
+    if args.min_speedup is not None:
+        headline = report["summary"]["headline_speedup"]
+        if headline < args.min_speedup:
+            print(
+                f"ERROR: headline speedup {headline:.2f}x on "
+                f"{report['summary']['largest_model']} is below the "
+                f"--min-speedup guard of {args.min_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 2
     return 0
 
 

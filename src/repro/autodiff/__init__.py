@@ -1,5 +1,17 @@
 """Reverse-mode autodiff over the single-device IR."""
 
-from .backward import TrainingGraphInfo, build_training_graph
+from .backward import (
+    GRAD_SEED_SUFFIX,
+    StageTrainingInfo,
+    TrainingGraphInfo,
+    build_stage_training_graph,
+    build_training_graph,
+)
 
-__all__ = ["build_training_graph", "TrainingGraphInfo"]
+__all__ = [
+    "build_training_graph",
+    "build_stage_training_graph",
+    "TrainingGraphInfo",
+    "StageTrainingInfo",
+    "GRAD_SEED_SUFFIX",
+]

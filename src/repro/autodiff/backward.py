@@ -142,6 +142,157 @@ def build_training_graph(
     )
 
 
+#: Suffix of the gradient-seed placeholders of a pipeline-stage graph.
+GRAD_SEED_SUFFIX = "__grad_in"
+
+
+@dataclass
+class StageTrainingInfo:
+    """A pipeline stage's training graph plus its boundary book-keeping.
+
+    Attributes:
+        graph: the stage's training graph (stage forward + backward + SGD
+            updates for the stage's own parameters).
+        loss: loss node name (last stage only).
+        gradients / updates / skipped_parameters: as in
+            :class:`TrainingGraphInfo`, restricted to the stage's parameters.
+        forward_nodes: names of the stage-forward nodes (including the
+            placeholder stand-ins for incoming activations) — everything else
+            in ``graph`` is backward or optimizer work.
+        boundary_outputs: activations this stage sends downstream; each is a
+            graph output and has a matching gradient-seed placeholder.
+        grad_input_of: boundary-output ref -> its gradient-seed placeholder
+            (bound by the runtime to the gradient received from downstream).
+        grad_output_of: incoming-activation ref -> node holding the gradient
+            this stage sends back upstream (a graph output).
+    """
+
+    graph: ComputationGraph
+    loss: Optional[str]
+    gradients: Dict[str, str] = field(default_factory=dict)
+    updates: Dict[str, str] = field(default_factory=dict)
+    skipped_parameters: List[str] = field(default_factory=list)
+    forward_nodes: List[str] = field(default_factory=list)
+    boundary_outputs: List[str] = field(default_factory=list)
+    grad_input_of: Dict[str, str] = field(default_factory=dict)
+    grad_output_of: Dict[str, str] = field(default_factory=dict)
+
+
+def build_stage_training_graph(
+    stage_forward: ComputationGraph,
+    boundary_inputs: Tuple[str, ...] = (),
+    boundary_outputs: Tuple[str, ...] = (),
+    lr: float = 0.01,
+) -> StageTrainingInfo:
+    """Differentiate one pipeline stage of a forward graph.
+
+    The last stage (the one holding the loss) is differentiated exactly like
+    :func:`build_training_graph`.  Earlier stages have no loss; instead, each
+    ``boundary_outputs`` activation gets a gradient-seed *placeholder* (named
+    ``<ref>__grad_in``) standing in for the gradient that arrives from the
+    downstream stage at run time, and the accumulated gradient of each
+    ``boundary_inputs`` activation is marked as a graph output so it can be
+    sent upstream.  Chaining the stage graphs through these placeholders
+    reproduces the single-device backward pass.
+
+    Args:
+        stage_forward: the stage's forward subgraph.  Incoming activations
+            must already be placeholder nodes carrying the original node
+            names; the loss must be marked on the last stage.
+        boundary_inputs: incoming-activation refs whose gradients this stage
+            must export upstream.
+        boundary_outputs: activation refs this stage exports downstream (the
+            gradient seeds of its backward pass).
+        lr: learning rate stored on the ``sgd_update`` nodes.
+
+    Returns:
+        A :class:`StageTrainingInfo`; the graph's outputs are the updated
+        parameters, the boundary activations, the upstream gradients, and the
+        loss when present.
+    """
+    if stage_forward.loss is None and not boundary_outputs:
+        raise GraphError(
+            "a stage graph needs a marked loss or at least one boundary output "
+            "to seed its backward pass"
+        )
+    stage_forward.validate()
+
+    graph = _copy_forward(stage_forward)
+    forward_nodes = list(stage_forward.node_names)
+    b = _GradBuilder(graph)
+    pending: Dict[str, List[str]] = {}
+
+    if stage_forward.loss is not None:
+        seed = b.add("grad_seed", "constant", (), shape=(), dtype=DType.FLOAT32, value=1.0)
+        pending[stage_forward.loss] = [seed]
+
+    grad_input_of: Dict[str, str] = {}
+    for ref in boundary_outputs:
+        spec = stage_forward[ref].spec
+        seed_name = f"{ref}{GRAD_SEED_SUFFIX}"
+        graph.add_node(seed_name, "placeholder", (), {"shape": spec.shape, "dtype": spec.dtype})
+        pending.setdefault(ref, []).append(seed_name)
+        grad_input_of[ref] = seed_name
+
+    def grad_of(name: str) -> Optional[str]:
+        contribs = pending.get(name)
+        if not contribs:
+            return None
+        total = contribs[0]
+        for extra in contribs[1:]:
+            total = b.add(f"grad_{name}_acc", "add", (total, extra))
+        pending[name] = [total]
+        return total
+
+    def push(name: str, grad: Optional[str]) -> None:
+        if grad is not None:
+            pending.setdefault(name, []).append(grad)
+
+    for node in reversed(stage_forward.nodes):
+        dy = grad_of(node.name)
+        if dy is None:
+            continue
+        for inp, grad in _vjp(b, stage_forward, node, dy).items():
+            push(inp, grad)
+
+    gradients: Dict[str, str] = {}
+    updates: Dict[str, str] = {}
+    skipped: List[str] = []
+    for param in stage_forward.parameters():
+        grad = grad_of(param.name)
+        if grad is None:
+            skipped.append(param.name)
+            continue
+        gradients[param.name] = grad
+        upd = b.add(f"{param.name}_new", "sgd_update", (param.name, grad), lr=lr)
+        updates[param.name] = upd
+        graph.mark_output(upd)
+
+    for ref in boundary_outputs:
+        graph.mark_output(ref)
+    grad_output_of: Dict[str, str] = {}
+    for ref in boundary_inputs:
+        grad = grad_of(ref)
+        if grad is not None:
+            graph.mark_output(grad)
+            grad_output_of[ref] = grad
+
+    if stage_forward.loss is not None:
+        graph.mark_loss(stage_forward.loss)
+    graph.validate()
+    return StageTrainingInfo(
+        graph=graph,
+        loss=stage_forward.loss,
+        gradients=gradients,
+        updates=updates,
+        skipped_parameters=skipped,
+        forward_nodes=forward_nodes,
+        boundary_outputs=list(boundary_outputs),
+        grad_input_of=grad_input_of,
+        grad_output_of=grad_output_of,
+    )
+
+
 # ---------------------------------------------------------------------------
 # per-operator vector-Jacobian products
 # ---------------------------------------------------------------------------

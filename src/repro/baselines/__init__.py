@@ -21,6 +21,7 @@ from .planners import (
     plan_dp_cp,
     plan_dp_ev,
     plan_hap,
+    plan_hap_pipeline,
     plan_tag_like,
     BASELINE_NAMES,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "plan_deepspeed_like",
     "plan_tag_like",
     "plan_hap",
+    "plan_hap_pipeline",
     "estimate_memory_per_device",
     "BASELINE_NAMES",
 ]

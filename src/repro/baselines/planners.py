@@ -15,13 +15,15 @@ from typing import Dict, List, Optional, Sequence
 from ..cluster.spec import ClusterSpec
 from ..core.config import PlannerConfig, SynthesisConfig
 from ..core.costmodel import CostBreakdown, CostModel
+from ..core.hierarchical import HierarchicalConfig, HierarchicalPlan
 from ..core.pipeline import HAPPlan, HAPPlanner
 from ..core.program import DistributedProgram
 from ..core.synthesizer import ProgramSynthesizer
 from ..graph.graph import ComputationGraph
 from ..hap import hap as _hap
+from ..hap import hap_pipeline as _hap_pipeline
 
-BASELINE_NAMES = ["DP-EV", "DP-CP", "DeepSpeed", "TAG", "HAP"]
+BASELINE_NAMES = ["DP-EV", "DP-CP", "DeepSpeed", "TAG", "HAP", "HAP-Pipeline"]
 
 
 @dataclass
@@ -207,6 +209,21 @@ def plan_hap(
     )
 
 
+def plan_hap_pipeline(
+    model: ComputationGraph,
+    cluster: ClusterSpec,
+    config: Optional[HierarchicalConfig] = None,
+) -> HierarchicalPlan:
+    """Run hierarchical HAP (pipeline-over-SPMD stages) as a named system.
+
+    Unlike the flat systems, the input must be the *forward* graph with a
+    marked loss (stages are differentiated individually) and the result is a
+    :class:`~repro.core.hierarchical.HierarchicalPlan`, not a
+    :class:`BaselinePlan` — it holds one SPMD program per machine group.
+    """
+    return _hap_pipeline(model, cluster, config)
+
+
 _PLANNERS = {
     "DP-EV": plan_dp_ev,
     "DP-CP": plan_dp_cp,
@@ -220,10 +237,16 @@ def plan_baseline(
     model: ComputationGraph,
     cluster: ClusterSpec,
     config=None,
-) -> BaselinePlan:
-    """Plan any baseline (or HAP) by name."""
+):
+    """Plan any baseline (or HAP / HAP-Pipeline) by name.
+
+    Returns a :class:`BaselinePlan` for the flat systems and a
+    :class:`~repro.core.hierarchical.HierarchicalPlan` for ``HAP-Pipeline``.
+    """
     if name == "HAP":
         return plan_hap(model, cluster, config)
+    if name == "HAP-Pipeline":
+        return plan_hap_pipeline(model, cluster, config)
     try:
         planner = _PLANNERS[name]
     except KeyError:

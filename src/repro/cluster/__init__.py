@@ -2,8 +2,10 @@
 
 from .device import DEVICE_CATALOG, GB, DeviceType, Machine, VirtualDevice, device_type
 from .spec import (
+    ClusterPartition,
     ClusterSpec,
     NetworkSpec,
+    Subcluster,
     a100_p100_pair,
     a100_pair,
     custom_cluster,
@@ -20,8 +22,10 @@ __all__ = [
     "Machine",
     "VirtualDevice",
     "device_type",
+    "ClusterPartition",
     "ClusterSpec",
     "NetworkSpec",
+    "Subcluster",
     "heterogeneous_testbed",
     "homogeneous_testbed",
     "a100_p100_pair",

@@ -128,6 +128,55 @@ class ClusterSpec:
             name=name or f"{self.name}[:{num_machines}]",
         )
 
+    # -- hierarchical partitioning ---------------------------------------------
+    def partition(
+        self,
+        num_groups: int,
+        intra_group_network: Optional[NetworkSpec] = None,
+    ) -> "ClusterPartition":
+        """Split the machines into ``num_groups`` contiguous stage groups.
+
+        The groups are contiguous slices of the machine list, balanced by
+        aggregate sustained flops (each group gets at least one machine).  The
+        cluster's own network is preserved as the *inter-group* link — the
+        link pipeline-parallel activations and gradients travel over — while
+        each group may optionally use a faster ``intra_group_network`` (the
+        common physical situation: fast links inside a rack, a slow shared
+        link between racks, which is exactly when pipelining over SPMD pays).
+
+        Args:
+            num_groups: number of contiguous machine groups.
+            intra_group_network: network model used *inside* every group;
+                defaults to the cluster's own (flat) network.
+
+        Returns:
+            A :class:`ClusterPartition` with one :class:`Subcluster` per group.
+        """
+        if not 1 <= num_groups <= len(self.machines):
+            raise ValueError(
+                f"num_groups must be in [1, {len(self.machines)}], got {num_groups}"
+            )
+        weights = [m.total_flops for m in self.machines]
+        boundaries = _balanced_boundaries(weights, num_groups)
+        groups: List[Subcluster] = []
+        start = 0
+        for idx, end in enumerate(boundaries):
+            groups.append(
+                Subcluster(
+                    self.machines[start:end],
+                    network=intra_group_network or self.network,
+                    group_by_machine=self.group_by_machine,
+                    name=f"{self.name}/stage{idx}",
+                    parent=self,
+                    group_index=idx,
+                    machine_offset=start,
+                )
+            )
+            start = end
+        return ClusterPartition(
+            cluster=self, groups=groups, inter_group_network=self.network
+        )
+
     def describe(self) -> str:
         """Human-readable cluster summary."""
         lines = [f"ClusterSpec {self.name!r}: {self.num_gpus} GPUs on {len(self.machines)} machines"]
@@ -144,6 +193,110 @@ class ClusterSpec:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ClusterSpec(name={self.name!r}, gpus={self.num_gpus}, devices={self.num_devices})"
+
+
+def _balanced_boundaries(weights: Sequence[float], num_groups: int) -> List[int]:
+    """End indices of a contiguous split of ``weights`` into balanced groups.
+
+    Greedy cumulative split against equal-weight targets, constrained so every
+    group keeps at least one element and no elements are left over.  Exact for
+    the small machine counts clusters have; mirrors
+    :func:`repro.graph.analysis.segment_graph`.
+    """
+    n = len(weights)
+    total = sum(weights) or float(n)
+    boundaries: List[int] = []
+    acc = 0.0
+    for i, w in enumerate(weights):
+        acc += w if total > 0 else 1.0
+        remaining_groups = num_groups - len(boundaries)
+        remaining_items = n - (i + 1)
+        if len(boundaries) < num_groups - 1 and (
+            acc >= total * (len(boundaries) + 1) / num_groups
+            or remaining_items <= remaining_groups - 1
+        ):
+            boundaries.append(i + 1)
+    boundaries.append(n)
+    return boundaries
+
+
+class Subcluster(ClusterSpec):
+    """A contiguous machine group of a parent cluster (one pipeline stage).
+
+    Behaves exactly like a :class:`ClusterSpec` over its own machines — the
+    flat HAP planner, cost model, simulator and SPMD runtime all accept it
+    unchanged — while remembering where it sits inside the parent cluster.
+
+    Attributes:
+        parent: the cluster this group was partitioned from.
+        group_index: position of this group in the partition.
+        machine_offset: index of the group's first machine in the parent.
+    """
+
+    def __init__(
+        self,
+        machines: Sequence[Machine],
+        network: Optional[NetworkSpec] = None,
+        group_by_machine: bool = True,
+        name: str = "subcluster",
+        parent: Optional[ClusterSpec] = None,
+        group_index: int = 0,
+        machine_offset: int = 0,
+    ) -> None:
+        super().__init__(
+            machines, network=network, group_by_machine=group_by_machine, name=name
+        )
+        self.parent = parent
+        self.group_index = group_index
+        self.machine_offset = machine_offset
+
+
+@dataclass
+class ClusterPartition:
+    """A contiguous split of a cluster into pipeline-stage machine groups.
+
+    Attributes:
+        cluster: the partitioned cluster.
+        groups: one :class:`Subcluster` per stage, in machine order.
+        inter_group_network: the network activations/gradients cross between
+            adjacent groups (the parent cluster's network, preserved).
+    """
+
+    cluster: ClusterSpec
+    groups: List[Subcluster]
+    inter_group_network: NetworkSpec
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    def group_flops(self) -> List[float]:
+        """Aggregate sustained flops of every group."""
+        return [g.total_flops() for g in self.groups]
+
+    def compute_ratios(self) -> List[float]:
+        """Fraction of the cluster's compute held by each group."""
+        flops = self.group_flops()
+        total = sum(flops)
+        return [f / total for f in flops]
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Point-to-point time to move ``nbytes`` between adjacent groups."""
+        return self.inter_group_network.latency + nbytes / self.inter_group_network.bandwidth
+
+    def describe(self) -> str:
+        """Human-readable partition summary."""
+        lines = [
+            f"ClusterPartition of {self.cluster.name!r} into {self.num_groups} groups "
+            f"(inter-group {self.inter_group_network.bandwidth * 8 / 1e9:.1f} Gbps)"
+        ]
+        for group, share in zip(self.groups, self.compute_ratios()):
+            gpus = ", ".join(f"{m.num_gpus}x{m.gpu.name}" for m in group.machines)
+            lines.append(
+                f"  {group.name}: {len(group.machines)} machines ({gpus}), "
+                f"{share * 100:.0f}% of cluster compute"
+            )
+        return "\n".join(lines)
 
 
 # ---------------------------------------------------------------------------

@@ -10,6 +10,13 @@ from .program import DistributedProgram, Stage
 from .properties import DistState, Property, StateKind, partial, replicated, sharded
 from .rules import Rule, Theory, Variant, build_theory, moe_restricted_refs, node_variants
 from .synthesizer import ProgramSynthesizer, SynthesisError, SynthesisResult, synthesize_program
+from .hierarchical import (
+    HierarchicalConfig,
+    HierarchicalPlan,
+    HierarchicalPlanner,
+    StagePlan,
+    stage_forward_graph,
+)
 
 __all__ = [
     "SynthesisConfig",
@@ -49,4 +56,9 @@ __all__ = [
     "SynthesisResult",
     "SynthesisError",
     "synthesize_program",
+    "HierarchicalConfig",
+    "HierarchicalPlan",
+    "HierarchicalPlanner",
+    "StagePlan",
+    "stage_forward_graph",
 ]

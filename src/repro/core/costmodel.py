@@ -205,6 +205,56 @@ class CostModel:
             stage_times=stage_times,
         )
 
+    def phase_profile(
+        self,
+        program: DistributedProgram,
+        ratios: Sequence[float],
+        forward_nodes,
+        comp_times_fn=None,
+        comm_time_fn=None,
+        per_stage_overhead: float = 0.0,
+    ) -> Dict[str, float]:
+        """Split a program's estimated time into pipeline phases.
+
+        Walks the synchronisation stages exactly like :meth:`evaluate`
+        (``comm + max_j comp_j`` per stage) but attributes every instruction
+        to its pipeline phase (see
+        :meth:`~repro.core.program.DistributedProgram.instruction_phases`):
+        per-stage communication goes to the collective's phase, and the
+        per-device computation vectors are accumulated — and maxed — per
+        phase.  The execution simulator injects its richer per-instruction
+        models through ``comp_times_fn`` / ``comm_time_fn`` so planner
+        estimates and simulator measurements share one decomposition.
+
+        Returns:
+            ``{"forward": s, "backward": s, "sync": s}`` in seconds.
+        """
+        comp_times_fn = comp_times_fn or self.comp_times
+        comm_time_fn = comm_time_fn or self.comm_time
+        phases = program.instruction_phases(forward_nodes)
+        phase_of = {id(instr): p for instr, p in zip(program.instructions, phases)}
+        buckets: Dict[str, float] = {"forward": 0.0, "backward": 0.0, "sync": 0.0}
+        m = self.num_devices
+        for stage in program.stages():
+            stage_phase = None
+            if stage.comm is not None:
+                stage_phase = phase_of[id(stage.comm)]
+                buckets[stage_phase] += comm_time_fn(stage.comm, ratios)
+            vectors: Dict[str, List[float]] = {}
+            for comp in stage.comps:
+                if isinstance(comp, CommInstruction):
+                    continue  # local slice pseudo-collective: no cost
+                phase = phase_of[id(comp)]
+                if stage_phase is None:
+                    stage_phase = phase
+                vec = vectors.setdefault(phase, [0.0] * m)
+                for j, t in enumerate(comp_times_fn(comp, ratios)):
+                    vec[j] += t
+            for phase, vec in vectors.items():
+                buckets[phase] += max(vec)
+            buckets[stage_phase or "forward"] += per_stage_overhead
+        return buckets
+
     # -- LP-facing linearisation ---------------------------------------------------
     def comm_linear(self, instr: CommInstruction) -> Tuple[float, float]:
         """(const, slope) of a collective's time as a function of max ratio.

@@ -1,0 +1,321 @@
+"""Hierarchical planning: pipeline parallelism over per-group SPMD programs.
+
+Flat HAP synthesizes one SPMD program spanning every device, which makes the
+slow inter-machine link carry the full gradient traffic on heterogeneous,
+bandwidth-constrained clusters.  The hierarchical planner instead
+
+1. partitions the cluster into contiguous machine groups
+   (:meth:`~repro.cluster.spec.ClusterSpec.partition`),
+2. cuts the model into pipeline stages balanced against each group's
+   aggregate compute (:func:`~repro.graph.analysis.pipeline_cut`),
+3. differentiates each stage in isolation
+   (:func:`~repro.autodiff.build_stage_training_graph`), and
+4. runs the *existing* flat :class:`~repro.core.pipeline.HAPPlanner` on every
+   (stage graph, machine group) pair, so all of HAP's program synthesis and
+   load balancing is reused unchanged inside each stage.
+
+Candidates with different stage counts are scored with the GPipe schedule
+simulator (:mod:`repro.simulator.schedule`) — microbatched pipelining with
+bubble and inter-group activation transfers — and the cheapest wins.  One
+stage is always a candidate and reproduces flat HAP exactly, so flat planning
+is the degenerate case of hierarchical planning rather than a parallel code
+path.  This follows HetPipe's pipelining across heterogeneous machine groups
+and Hetu's hierarchical heterogeneous SPMD annotations (see PAPERS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..autodiff.backward import StageTrainingInfo, build_stage_training_graph
+from ..cluster.spec import ClusterPartition, ClusterSpec, NetworkSpec
+from ..graph.analysis import PipelineCut, pipeline_cut
+from ..graph.graph import ComputationGraph, GraphError
+from ..graph.ops import OpKind
+from ..simulator.schedule import ScheduleResult, StageTimes, simulate_pipeline
+from .config import PlannerConfig
+from .costmodel import CostModel
+from .pipeline import HAPPlan, HAPPlanner
+from .program import DistributedProgram
+
+
+@dataclass
+class HierarchicalConfig:
+    """Knobs of the hierarchical (pipeline-over-SPMD) planner.
+
+    Attributes:
+        stage_candidates: stage counts to evaluate; defaults to
+            ``1..min(max_stages, num_machines)``.  1 is flat HAP.
+        max_stages: cap on the default candidate range.
+        num_microbatches: microbatches per iteration used by the pipeline
+            schedule (GPipe-style fill/drain).
+        microbatch_overhead: fixed per-microbatch launch/scheduling cost that
+            does not shrink with the microbatch size.
+        intra_group_network: network model inside each machine group; defaults
+            to the cluster's own network.  Pass the fast rack-local network
+            when the cluster's flat network is the slow inter-rack bottleneck.
+        planner: configuration of the flat HAP planner run per stage.
+        lr: learning rate stored on the stage graphs' ``sgd_update`` nodes.
+    """
+
+    stage_candidates: Optional[Sequence[int]] = None
+    max_stages: int = 4
+    num_microbatches: int = 8
+    microbatch_overhead: float = 50e-6
+    intra_group_network: Optional[NetworkSpec] = None
+    planner: PlannerConfig = field(default_factory=PlannerConfig)
+    lr: float = 0.01
+
+
+@dataclass
+class StagePlan:
+    """One pipeline stage: a flat HAP plan on one machine group.
+
+    Attributes:
+        index: stage position in the pipeline.
+        subcluster: the machine group this stage runs on.
+        plan: the flat HAP plan for the stage's training graph.
+        info: stage-graph book-keeping (boundary refs, gradient seeds,
+            per-parameter updates) used by the hierarchical runtime.
+        send_bytes: full-mini-batch activation bytes sent to later stages.
+    """
+
+    index: int
+    subcluster: ClusterSpec
+    plan: HAPPlan
+    info: StageTrainingInfo
+    send_bytes: int
+
+    @property
+    def program(self) -> DistributedProgram:
+        return self.plan.program
+
+    @property
+    def ratios(self) -> List[float]:
+        return self.plan.flat_ratios
+
+    @property
+    def forward_nodes(self) -> Set[str]:
+        return set(self.info.forward_nodes)
+
+
+@dataclass
+class HierarchicalPlan:
+    """A pipeline of per-group SPMD plans (flat HAP when ``num_stages == 1``).
+
+    Attributes:
+        cluster: the full target cluster.
+        partition: the machine-group partition the stages run on.
+        stages: per-stage plans, in pipeline order.
+        cut: the layer cut that produced the stage graphs.
+        num_microbatches: microbatch count of the schedule.
+        estimated_time: planner estimate of the pipelined iteration time.
+        schedule: the schedule estimate behind ``estimated_time``.
+        candidate_times: estimated time of every stage count evaluated.
+        batch_size: global mini-batch size (for runtime ratio snapping).
+    """
+
+    cluster: ClusterSpec
+    partition: ClusterPartition
+    stages: List[StagePlan]
+    cut: PipelineCut
+    num_microbatches: int
+    estimated_time: float
+    schedule: ScheduleResult
+    candidate_times: Dict[int, float] = field(default_factory=dict)
+    batch_size: Optional[int] = None
+    microbatch_overhead: float = 0.0
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def is_flat(self) -> bool:
+        """True when planning degenerated to a single flat SPMD program."""
+        return self.num_stages == 1
+
+    @property
+    def estimated_iteration_time(self) -> float:
+        return self.estimated_time
+
+    @property
+    def num_communications(self) -> int:
+        return sum(s.program.num_communications for s in self.stages)
+
+    def communication_kinds(self) -> Dict[str, int]:
+        hist: Dict[str, int] = {}
+        for stage in self.stages:
+            for kind, count in stage.program.communication_kinds().items():
+                hist[kind] = hist.get(kind, 0) + count
+        return hist
+
+    def describe(self) -> str:
+        """Readable plan summary (stages, groups, schedule estimate)."""
+        lines = [
+            f"Hierarchical plan on {self.cluster.name!r}: {self.num_stages} stage(s), "
+            f"{self.num_microbatches} microbatches, "
+            f"estimated {self.estimated_time * 1e3:.2f} ms/iteration "
+            f"(bubble {self.schedule.bubble_fraction * 100:.0f}%)"
+        ]
+        for stage in self.stages:
+            group = stage.subcluster
+            lines.append(
+                f"  stage {stage.index}: {len(stage.info.graph)} nodes on "
+                f"{group.name} ({group.num_gpus} GPUs), "
+                f"est {stage.plan.estimated_time.total * 1e3:.2f} ms flat, "
+                f"sends {stage.send_bytes / 1e6:.2f} MB downstream"
+            )
+        if self.candidate_times:
+            ranked = ", ".join(
+                f"{s}->{t * 1e3:.1f}ms" for s, t in sorted(self.candidate_times.items())
+            )
+            lines.append(f"  candidates: {ranked}")
+        return "\n".join(lines)
+
+
+def stage_forward_graph(
+    forward: ComputationGraph, cut: PipelineCut, stage: int
+) -> ComputationGraph:
+    """Build the forward subgraph of one pipeline stage.
+
+    Incoming activations become placeholder nodes carrying the *original*
+    node names, so downstream bindings and activation handoff need no
+    renaming; the stage's own nodes are copied verbatim in topological order.
+    """
+    graph = ComputationGraph(f"{forward.name}_p{stage}")
+    for ref in cut.incoming_refs(stage):
+        spec = forward[ref].spec
+        graph.add_node(ref, "placeholder", (), {"shape": spec.shape, "dtype": spec.dtype})
+    for name in cut.stages[stage]:
+        node = forward[name]
+        graph.add_node(name, node.op, node.inputs, dict(node.attrs))
+    if forward.loss is not None and forward.loss in graph:
+        graph.mark_loss(forward.loss)
+    return graph
+
+
+class HierarchicalPlanner:
+    """Searches over pipeline-stage counts, planning each stage with flat HAP."""
+
+    def __init__(
+        self,
+        forward: ComputationGraph,
+        cluster: ClusterSpec,
+        config: Optional[HierarchicalConfig] = None,
+    ) -> None:
+        if any(node.kind is OpKind.OPTIMIZER for node in forward):
+            raise GraphError(
+                "HierarchicalPlanner needs the forward graph (with a marked loss): "
+                "stages are differentiated individually"
+            )
+        if forward.loss is None:
+            raise GraphError("HierarchicalPlanner needs a forward graph with a marked loss")
+        self.forward = forward
+        self.cluster = cluster
+        self.config = config or HierarchicalConfig()
+        self.batch_size = self._batch_size()
+
+    def _batch_size(self) -> Optional[int]:
+        leading = {
+            p.spec.shape[0] for p in self.forward.placeholders() if p.spec.rank > 0
+        }
+        return leading.pop() if len(leading) == 1 else None
+
+    def _candidates(self) -> List[int]:
+        if self.config.stage_candidates is not None:
+            candidates = sorted(set(self.config.stage_candidates))
+        else:
+            upper = min(self.config.max_stages, len(self.cluster.machines))
+            candidates = list(range(1, upper + 1))
+        if 1 not in candidates:
+            candidates.insert(0, 1)  # flat HAP is always a candidate
+        return [s for s in candidates if 1 <= s <= len(self.cluster.machines)]
+
+    # -- per-candidate construction -------------------------------------------------
+    def build_candidate(self, num_stages: int) -> Optional[HierarchicalPlan]:
+        # The intra-group network only applies to proper partitions: a single
+        # group is the whole cluster and still spans the slow flat network.
+        intra = self.config.intra_group_network if num_stages > 1 else None
+        partition = self.cluster.partition(num_stages, intra_group_network=intra)
+        cut = pipeline_cut(self.forward, partition.compute_ratios())
+        if cut.num_stages != partition.num_groups:
+            return None  # the graph has fewer splittable layer blocks
+        stages: List[StagePlan] = []
+        for idx in range(cut.num_stages):
+            stage_fwd = stage_forward_graph(self.forward, cut, idx)
+            info = build_stage_training_graph(
+                stage_fwd,
+                boundary_inputs=tuple(cut.incoming_refs(idx)),
+                boundary_outputs=cut.cut_refs[idx],
+                lr=self.config.lr,
+            )
+            plan = HAPPlanner(info.graph, partition.groups[idx], self.config.planner).plan()
+            send_bytes = sum(self.forward[ref].spec.size_bytes for ref in cut.cut_refs[idx])
+            stages.append(
+                StagePlan(
+                    index=idx,
+                    subcluster=partition.groups[idx],
+                    plan=plan,
+                    info=info,
+                    send_bytes=send_bytes,
+                )
+            )
+        schedule = self._estimate_schedule(partition, stages)
+        return HierarchicalPlan(
+            cluster=self.cluster,
+            partition=partition,
+            stages=stages,
+            cut=cut,
+            num_microbatches=schedule.num_microbatches,
+            estimated_time=schedule.total,
+            schedule=schedule,
+            batch_size=self.batch_size,
+            microbatch_overhead=0.0 if cut.num_stages == 1 else self.config.microbatch_overhead,
+        )
+
+    def _estimate_schedule(
+        self, partition: ClusterPartition, stages: Sequence[StagePlan]
+    ) -> ScheduleResult:
+        """Pipelined iteration-time estimate from the stage cost models."""
+        times: List[StageTimes] = []
+        for stage in stages:
+            cost_model = CostModel(stage.plan.program.graph, stage.subcluster)
+            buckets = cost_model.phase_profile(
+                stage.plan.program, stage.ratios, stage.forward_nodes
+            )
+            times.append(
+                StageTimes(
+                    forward=buckets["forward"],
+                    backward=buckets["backward"],
+                    sync=buckets["sync"],
+                    send_bytes=float(stage.send_bytes),
+                )
+            )
+        # A single stage is flat SPMD: the whole batch runs at once, so no
+        # microbatching (and no per-microbatch overhead) applies.
+        flat = len(stages) == 1
+        return simulate_pipeline(
+            times,
+            num_microbatches=1 if flat else self.config.num_microbatches,
+            inter_group_bandwidth=partition.inter_group_network.bandwidth,
+            inter_group_latency=partition.inter_group_network.latency,
+            microbatch_overhead=0.0 if flat else self.config.microbatch_overhead,
+        )
+
+    # -- main entry point -----------------------------------------------------------
+    def plan(self) -> HierarchicalPlan:
+        """Evaluate every stage-count candidate and return the cheapest plan."""
+        best: Optional[HierarchicalPlan] = None
+        candidate_times: Dict[int, float] = {}
+        for num_stages in self._candidates():
+            candidate = self.build_candidate(num_stages)
+            if candidate is None:
+                continue
+            candidate_times[num_stages] = candidate.estimated_time
+            if best is None or candidate.estimated_time < best.estimated_time:
+                best = candidate
+        assert best is not None  # num_stages == 1 always builds
+        best.candidate_times = candidate_times
+        return best

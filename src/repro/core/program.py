@@ -6,8 +6,14 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..graph.graph import ComputationGraph
+from ..graph.ops import OpKind
 from .instructions import CommInstruction, CompInstruction, Instruction
 from .properties import Property
+
+#: Pipeline phases of a program's instructions (see :meth:`instruction_phases`).
+PHASE_FORWARD = "forward"
+PHASE_BACKWARD = "backward"
+PHASE_SYNC = "sync"
 
 
 @dataclass
@@ -75,6 +81,53 @@ class DistributedProgram:
             if isinstance(instr, CommInstruction):
                 hist[instr.kind.value] = hist.get(instr.kind.value, 0) + 1
         return hist
+
+    def instruction_phases(self, forward_nodes) -> List[str]:
+        """Pipeline phase of every instruction, in instruction order.
+
+        Used by the hierarchical planner and the pipeline-schedule simulator
+        to split a stage program's time into the part that repeats per
+        microbatch (``forward`` / ``backward``) and the part paid once per
+        iteration (``sync``):
+
+        * optimizer updates and parameter-source instructions are ``sync``;
+        * collectives over parameters (sharded-parameter gathers) and over
+          gradients consumed by an optimizer node (gradient all-reduce) are
+          ``sync`` — parameters only change once per iteration and gradients
+          are accumulated across microbatches;
+        * everything over a node in ``forward_nodes`` is ``forward``;
+        * the rest (activation gradients) is ``backward``.
+
+        Args:
+            forward_nodes: names of the graph's forward-pass nodes.
+        """
+        forward = set(forward_nodes)
+        consumers = self.graph.consumers()
+        phases: List[str] = []
+        for instr in self.instructions:
+            if isinstance(instr, CommInstruction):
+                ref = instr.input.ref
+                node = self.graph[ref]
+                if node.op == "parameter":
+                    phases.append(PHASE_SYNC)
+                elif any(
+                    self.graph[c].kind is OpKind.OPTIMIZER
+                    for c in consumers.get(ref, [])
+                ):
+                    phases.append(PHASE_SYNC)
+                elif ref in forward:
+                    phases.append(PHASE_FORWARD)
+                else:
+                    phases.append(PHASE_BACKWARD)
+            else:
+                node = self.graph[instr.node]
+                if node.kind is OpKind.OPTIMIZER or node.op == "parameter":
+                    phases.append(PHASE_SYNC)
+                elif instr.node in forward:
+                    phases.append(PHASE_FORWARD)
+                else:
+                    phases.append(PHASE_BACKWARD)
+        return phases
 
     def sharding_of(self, ref: str) -> List[Property]:
         """All properties established for a reference tensor."""

@@ -84,6 +84,8 @@ class _SearchNode:
         "completed_ideal",
         "depth",
         "topo_ptr",
+        "prop_sid",
+        "comm_sid",
     )
 
     def __init__(
@@ -98,6 +100,8 @@ class _SearchNode:
         completed_ideal: float,
         depth: int,
         topo_ptr: int = 0,
+        prop_sid: int = -1,
+        comm_sid: int = -1,
     ) -> None:
         self.parent = parent
         self.rule = rule
@@ -112,6 +116,11 @@ class _SearchNode:
         #: not yet emulated (maintained incrementally when rule indexing is
         #: on; the naive path rescans from the start instead).
         self.topo_ptr = topo_ptr
+        #: interned ids of ``properties`` / ``communicated`` (-1 when the
+        #: fast _apply path is off).  State keys built from these ids hash
+        #: two machine words instead of two frozensets.
+        self.prop_sid = prop_sid
+        self.comm_sid = comm_sid
 
     def instructions(self) -> List[Instruction]:
         """Reconstruct the instruction sequence by walking parent pointers."""
@@ -200,6 +209,36 @@ class ProgramSynthesizer:
         #: id(rule) -> cost-replay plan for the current ratios (cost memo).
         self._rule_plans: Dict[int, Tuple] = {}
         self._plan_ratios: Optional[Tuple[float, ...]] = None
+        # -- interned property/communicated sets (state interning + fast apply) --
+        # Children produced by applying one rule to one (property set,
+        # completed mask) are identical, so _apply_fast replays the interned
+        # result instead of rebuilding and re-hashing frozensets per child;
+        # state keys then hash the small ids.  Result-identical (the cached
+        # sets are exactly what the rebuild would produce).
+        self._fast_sids = (
+            self._indexing
+            and self.config.enable_cost_memoization
+            and self.config.enable_state_interning
+        )
+        #: frozenset -> (canonical frozenset, interned id).
+        self._propset_intern: Dict[FrozenSet[Property], Tuple[FrozenSet[Property], int]] = {}
+        self._commset_intern: Dict[FrozenSet[str], Tuple[FrozenSet[str], int]] = {}
+        #: (prop_sid, id(rule), completed-after) -> (properties, prop_sid).
+        self._prop_transition: Dict[Tuple[int, int, int], Tuple[FrozenSet[Property], int]] = {}
+        #: (comm_sid, id(rule)) -> (communicated, comm_sid).
+        self._comm_transition: Dict[Tuple[int, int], Tuple[FrozenSet[str], int]] = {}
+
+    def _intern_propset(self, fs: FrozenSet[Property]) -> Tuple[FrozenSet[Property], int]:
+        entry = self._propset_intern.get(fs)
+        if entry is None:
+            entry = self._propset_intern[fs] = (fs, len(self._propset_intern))
+        return entry
+
+    def _intern_commset(self, fs: FrozenSet[str]) -> Tuple[FrozenSet[str], int]:
+        entry = self._commset_intern.get(fs)
+        if entry is None:
+            entry = self._commset_intern[fs] = (fs, len(self._commset_intern))
+        return entry
 
     # -- helpers -----------------------------------------------------------------
     def _ideal(self, name: str) -> float:
@@ -351,29 +390,36 @@ class ProgramSynthesizer:
                 stage = self._zero_stage
             else:
                 stage = tuple([s + t for s, t in zip(stage, payload)])
-        communicated = node.communicated | rule.communicates
-        properties = node.properties | rule.post
+        completed = node.completed | mask if mask else node.completed
         completed_ideal = node.completed_ideal
-        if mask:
-            completed = node.completed | mask
-            for ideal in ideals:
-                completed_ideal += ideal
-            liveness = self._liveness_mask
-            dead = None
-            for ref in dead_candidates:
-                ref_mask, relevant = liveness[ref]
-                if relevant and (completed & ref_mask) == ref_mask:
-                    if dead is None:
-                        dead = {ref}
-                    else:
-                        dead.add(ref)
-            if dead is not None:
-                properties = frozenset([p for p in properties if p.ref not in dead])
-            topo_ptr = self._advance_topo_ptr(node.topo_ptr, completed)
+        for ideal in ideals:
+            completed_ideal += ideal
+        topo_ptr = (
+            self._advance_topo_ptr(node.topo_ptr, completed) if mask else node.topo_ptr
+        )
+        # The resulting property/communicated sets are pure functions of
+        # (parent set, rule, completed-after), so with interning on they are
+        # computed once and replayed — no per-child frozenset churn.
+        use_sids = self._fast_sids and node.prop_sid >= 0
+        prop_sid = comm_sid = -1
+        if use_sids:
+            pkey = (node.prop_sid, rid, completed)
+            prop_entry = self._prop_transition.get(pkey)
+            if prop_entry is None:
+                prop_entry = self._prop_transition[pkey] = self._intern_propset(
+                    self._child_properties(node, rule, mask, dead_candidates, completed)
+                )
+            properties, prop_sid = prop_entry
+            ckey = (node.comm_sid, rid)
+            comm_entry = self._comm_transition.get(ckey)
+            if comm_entry is None:
+                comm_entry = self._comm_transition[ckey] = self._intern_commset(
+                    node.communicated | rule.communicates
+                )
+            communicated, comm_sid = comm_entry
         else:
-            # Pure communication rule: no node completed, liveness unchanged.
-            completed = node.completed
-            topo_ptr = node.topo_ptr
+            properties = self._child_properties(node, rule, mask, dead_candidates, completed)
+            communicated = node.communicated | rule.communicates
         child = _SearchNode.__new__(_SearchNode)
         child.parent = node
         child.rule = rule
@@ -385,7 +431,35 @@ class ProgramSynthesizer:
         child.completed_ideal = completed_ideal
         child.depth = node.depth + 1
         child.topo_ptr = topo_ptr
+        child.prop_sid = prop_sid
+        child.comm_sid = comm_sid
         return child
+
+    def _child_properties(
+        self,
+        node: _SearchNode,
+        rule: Rule,
+        mask: int,
+        dead_candidates: Tuple[str, ...],
+        completed: int,
+    ) -> FrozenSet[Property]:
+        """Property set after applying ``rule`` (post union, liveness drop)."""
+        properties = node.properties | rule.post
+        if not mask:
+            # Pure communication rule: no node completed, liveness unchanged.
+            return properties
+        liveness = self._liveness_mask
+        dead = None
+        for ref in dead_candidates:
+            ref_mask, relevant = liveness[ref]
+            if relevant and (completed & ref_mask) == ref_mask:
+                if dead is None:
+                    dead = {ref}
+                else:
+                    dead.add(ref)
+        if dead is not None:
+            properties = frozenset([p for p in properties if p.ref not in dead])
+        return properties
 
     def _advance_topo_ptr(self, ptr: int, completed: int) -> int:
         """First index >= ptr in topological order not yet emulated."""
@@ -514,22 +588,36 @@ class ProgramSynthesizer:
             self._rule_plans.clear()
             self._rule_runtime.clear()
             self._plan_ratios = ratios
+        # Interned sets and transitions are search-local: states never cross
+        # synthesize() calls, so dropping the tables frees last search's sets.
+        self._propset_intern.clear()
+        self._commset_intern.clear()
+        self._prop_transition.clear()
+        self._comm_transition.clear()
         if self.config.search_strategy == "beam":
             return self._beam_search(ratios)
         return self._astar_search(ratios)
 
     def _root(self) -> _SearchNode:
         m = self.cluster.num_devices
+        prop_sid = comm_sid = -1
+        properties: FrozenSet[Property] = frozenset()
+        communicated: FrozenSet[str] = frozenset()
+        if self._fast_sids:
+            properties, prop_sid = self._intern_propset(properties)
+            communicated, comm_sid = self._intern_commset(communicated)
         return _SearchNode(
             parent=None,
             rule=None,
-            properties=frozenset(),
+            properties=properties,
             completed=0,
-            communicated=frozenset(),
+            communicated=communicated,
             closed_cost=0.0,
             stage_comp=tuple([0.0] * m),
             completed_ideal=0.0,
             depth=0,
+            prop_sid=prop_sid,
+            comm_sid=comm_sid,
         )
 
     def _result(
@@ -582,12 +670,17 @@ class ProgramSynthesizer:
                 for rule in comp_rules:
                     for child in self._expand_with_rule(state, rule, ratios):
                         generated += 1
-                        key = (child.properties, child.completed, child.communicated)
-                        if interning:
-                            sid = state_ids.get(key)
-                            if sid is None:
-                                sid = state_ids[key] = len(state_ids)
-                            key = sid
+                        if child.prop_sid >= 0:
+                            # Interned ids from the fast _apply path: the key
+                            # hashes three machine words, no frozensets.
+                            key = (child.prop_sid, child.completed, child.comm_sid)
+                        else:
+                            key = (child.properties, child.completed, child.communicated)
+                            if interning:
+                                sid = state_ids.get(key)
+                                if sid is None:
+                                    sid = state_ids[key] = len(state_ids)
+                                key = sid
                         closed = child.closed_cost
                         vector = tuple([closed + c for c in child.stage_comp])
                         existing = children.get(key)
@@ -677,7 +770,34 @@ class ProgramSynthesizer:
         return results
 
     # -- unrestricted A* search (Fig. 10) ----------------------------------------------
-    def _astar_search(self, ratios: Sequence[float]) -> SynthesisResult:
+    def _greedy_complete(
+        self, node: _SearchNode, ratios: Sequence[float]
+    ) -> Tuple[Optional[_SearchNode], int]:
+        """Extend a partial program to completion with width-1 beam steps.
+
+        Used as the completion fallback when open-list trimming discarded
+        every completable state: follow the topological order from the
+        prefix, picking the cheapest sharding variant (with enabling
+        collectives) of each remaining node.  Returns the completed state
+        (suboptimal but valid) and the number of children generated, or
+        ``None`` if some node has no reachable variant from the prefix.
+        """
+        current = node
+        generated = 0
+        while not self._is_complete(current):
+            next_node = self._next_node(current)
+            if next_node is None:
+                return None, generated
+            children: List[_SearchNode] = []
+            for rule in self.theory.comp_rules_by_node.get(next_node, []):
+                children.extend(self._expand_with_rule(current, rule, ratios))
+            generated += len(children)
+            if not children:
+                return None, generated
+            current = min(children, key=lambda s: (self._final_cost(s), sum(s.stage_comp)))
+        return current, generated
+
+    def _astar_search(self, ratios: Sequence[float], _allow_trim: bool = True) -> SynthesisResult:
         start = _time.perf_counter()
         root = self._root()
         counter = itertools.count()
@@ -696,6 +816,9 @@ class ProgramSynthesizer:
         best_vectors: Dict[Tuple, List[Tuple[float, ...]]] = {}
         best_complete: Optional[_SearchNode] = None
         best_cost = float("inf")
+        #: Most-progressed state popped so far — the completion-fallback seed.
+        best_prefix = root
+        trim = _allow_trim and self.config.beam_width is not None
         expanded = 0
         generated = 1
         # Interned state-key ids live for the duration of one search.
@@ -712,6 +835,11 @@ class ProgramSynthesizer:
             if expanded >= self.config.max_search_steps:
                 break
             expanded += 1
+            if node.completed_ideal > best_prefix.completed_ideal or (
+                node.completed_ideal == best_prefix.completed_ideal
+                and self._final_cost(node) < self._final_cost(best_prefix)
+            ):
+                best_prefix = node
 
             for rule in self._applicable_rules(node):
                 child = self._apply(node, rule, ratios)
@@ -725,12 +853,15 @@ class ProgramSynthesizer:
                         best_cost = cost
                         best_complete = child
                     continue
-                key = (child.properties, child.completed, child.communicated)
-                if interning:
-                    sid = state_ids.get(key)
-                    if sid is None:
-                        sid = state_ids[key] = len(state_ids)
-                    key = sid
+                if child.prop_sid >= 0:
+                    key = (child.prop_sid, child.completed, child.comm_sid)
+                else:
+                    key = (child.properties, child.completed, child.communicated)
+                    if interning:
+                        sid = state_ids.get(key)
+                        if sid is None:
+                            sid = state_ids[key] = len(state_ids)
+                        key = sid
                 vector = tuple([closed + c for c in stage_comp])
                 if use_pareto:
                     front = fronts.get(key)
@@ -758,11 +889,24 @@ class ProgramSynthesizer:
                 if child_score < best_cost:
                     heappush(heap, (child_score, -child.depth, next(counter), child))
 
-            if self.config.beam_width is not None and len(heap) > 4 * self.config.beam_width:
+            if trim and len(heap) > 4 * self.config.beam_width:
                 heap = heapq.nsmallest(self.config.beam_width, heap)
                 heapq.heapify(heap)
 
         if best_complete is None:
+            # Completion fallback (ROADMAP dead-end): trimming the open list
+            # can discard every completable state.  Greedily complete the
+            # most-progressed prefix; if even that dead-ends, redo the search
+            # without trimming before giving up.
+            for prefix in (best_prefix, root):
+                completed, extra = self._greedy_complete(prefix, ratios)
+                generated += extra
+                if completed is not None:
+                    return self._result(
+                        completed, self._final_cost(completed), expanded, generated, start
+                    )
+            if trim:
+                return self._astar_search(ratios, _allow_trim=False)
             raise SynthesisError(
                 "A* search exhausted without finding a complete distributed program; "
                 "the background theory may be missing rules for some operator"

@@ -15,15 +15,18 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from ..autodiff import build_training_graph
-from ..baselines import BaselinePlan, plan_baseline
+from ..baselines import BaselinePlan, estimate_memory_per_device, plan_baseline
 from ..cluster.spec import ClusterSpec
 from ..core.config import PlannerConfig, SynthesisConfig
+from ..core.hierarchical import HierarchicalConfig, HierarchicalPlan
 from ..graph.graph import ComputationGraph
 from ..models import BenchmarkScale, build_model
-from ..simulator import ExecutionSimulator
+from ..simulator import ExecutionSimulator, simulate_hierarchical
 
 #: Systems compared in Figs. 13-14 (TAG only supports VGG19 and BERT-Base in
-#: the paper; DP baselines go out of memory on BERT-MoE).
+#: the paper; DP baselines go out of memory on BERT-MoE).  ``HAP-Pipeline``
+#: (hierarchical pipeline-over-SPMD planning) is opt-in: it additionally needs
+#: the forward graph, which the harness builds from ``model_name``.
 DEFAULT_SYSTEMS = ["HAP", "DP-EV", "DP-CP", "DeepSpeed", "TAG"]
 
 
@@ -90,7 +93,9 @@ class ComparisonResult:
         candidates = [
             r
             for name, r in self.results.items()
-            if name != "HAP" and r.simulated_time is not None and not r.out_of_memory
+            if name not in ("HAP", "HAP-Pipeline")
+            and r.simulated_time is not None
+            and not r.out_of_memory
         ]
         if not candidates:
             return None
@@ -114,6 +119,8 @@ def compare_systems(
     planner_config: Optional[PlannerConfig] = None,
     synthesis_config: Optional[SynthesisConfig] = None,
     training_graph: Optional[ComputationGraph] = None,
+    forward_graph: Optional[ComputationGraph] = None,
+    hierarchical_config: Optional[HierarchicalConfig] = None,
     simulator_seed: int = 0,
     simulation_iterations: int = 3,
 ) -> ComparisonResult:
@@ -129,6 +136,11 @@ def compare_systems(
         synthesis_config: configuration shared by baseline planners.
         training_graph: pre-built training graph (overrides ``model_name``
             construction; used to avoid rebuilding across systems).
+        forward_graph: pre-built forward graph (required for ``HAP-Pipeline``
+            when ``training_graph`` is supplied; stages are differentiated
+            individually from it).
+        hierarchical_config: configuration of the ``HAP-Pipeline`` planner;
+            defaults to ``HierarchicalConfig(planner=planner_config)``.
         simulator_seed: RNG seed of the execution simulator.
         simulation_iterations: iterations averaged by the simulator.
 
@@ -139,8 +151,9 @@ def compare_systems(
 
     num_gpus = num_gpus or cluster.num_gpus
     if training_graph is None:
-        forward = build_model(model_name, num_gpus=num_gpus, scale=scale)
-        training_graph = build_training_graph(forward).graph
+        if forward_graph is None:
+            forward_graph = build_model(model_name, num_gpus=num_gpus, scale=scale)
+        training_graph = build_training_graph(forward_graph).graph
     planner_config = planner_config or default_planner_config()
     synthesis_config = synthesis_config or replace(
         planner_config.synthesis, force_data_parallel=False
@@ -150,12 +163,37 @@ def compare_systems(
     results: Dict[str, SystemResult] = {}
     for system in systems:
         start = _time.perf_counter()
+        if system == "HAP-Pipeline":
+            if forward_graph is None:
+                raise ValueError(
+                    "HAP-Pipeline needs the forward graph; pass forward_graph= "
+                    "alongside training_graph="
+                )
+            config = hierarchical_config or HierarchicalConfig(planner=planner_config)
+            hplan: HierarchicalPlan = plan_baseline(system, forward_graph, cluster, config)
+            planning_seconds = _time.perf_counter() - start
+            oom = _hierarchical_out_of_memory(hplan)
+            simulated = None
+            if not oom:
+                simulated = simulate_hierarchical(
+                    hplan, iterations=simulation_iterations, seed=simulator_seed
+                ).total
+            results[system] = SystemResult(
+                system=system,
+                simulated_time=simulated,
+                estimated_time=hplan.estimated_time,
+                out_of_memory=oom,
+                num_collectives=hplan.num_communications,
+                comm_kinds=hplan.communication_kinds(),
+                planning_seconds=planning_seconds,
+            )
+            continue
         if system == "HAP":
             plan: BaselinePlan = plan_baseline(system, training_graph, cluster, planner_config)
         else:
             plan = plan_baseline(system, training_graph, cluster, synthesis_config)
         planning_seconds = _time.perf_counter() - start
-        simulated: Optional[float] = None
+        simulated = None
         if not plan.out_of_memory:
             simulated = simulator.simulate(
                 plan.program, plan.flat_ratios, iterations=simulation_iterations
@@ -175,6 +213,15 @@ def compare_systems(
         cluster=cluster.name,
         results=results,
     )
+
+
+def _hierarchical_out_of_memory(plan: HierarchicalPlan) -> bool:
+    """True if any pipeline stage exceeds its machine group's memory."""
+    for stage in plan.stages:
+        memory = estimate_memory_per_device(stage.program, stage.ratios, stage.subcluster)
+        if any(m > cap for m, cap in zip(memory, stage.subcluster.device_memory())):
+            return True
+    return False
 
 
 def format_comparison(comparison: ComparisonResult) -> str:

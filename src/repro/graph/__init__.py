@@ -6,11 +6,14 @@ from .graph import ComputationGraph, GraphError, Node
 from .builder import GraphBuilder
 from .analysis import (
     GraphStats,
+    PipelineCut,
     compute_nodes,
     consumers_map,
     cut_bytes,
+    cut_transfer_bytes,
     last_use,
     node_flops_map,
+    pipeline_cut,
     segment_flops,
     segment_graph,
 )
@@ -31,11 +34,14 @@ __all__ = [
     "Node",
     "GraphBuilder",
     "GraphStats",
+    "PipelineCut",
     "compute_nodes",
     "consumers_map",
     "cut_bytes",
+    "cut_transfer_bytes",
     "last_use",
     "node_flops_map",
+    "pipeline_cut",
     "segment_flops",
     "segment_graph",
 ]

@@ -12,11 +12,13 @@ execution simulator (:mod:`repro.simulator`).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 from .autodiff import build_training_graph
 from .cluster.spec import ClusterSpec
 from .core.config import PlannerConfig
+from .core.hierarchical import HierarchicalConfig, HierarchicalPlan, HierarchicalPlanner
 from .core.pipeline import HAPPlan, HAPPlanner
 from .graph.graph import ComputationGraph
 from .graph.ops import OpKind
@@ -57,3 +59,41 @@ def hap(
         graph = build_training_graph(model, lr=lr).graph
     planner = HAPPlanner(graph, cluster, config)
     return planner.plan()
+
+
+def hap_pipeline(
+    model: ComputationGraph,
+    cluster: ClusterSpec,
+    config: Optional[HierarchicalConfig] = None,
+    lr: Optional[float] = None,
+) -> HierarchicalPlan:
+    """Plan hierarchical (pipeline-over-SPMD) training of ``model``.
+
+    Partitions the cluster into contiguous machine groups, cuts the model
+    into pipeline stages balanced against each group's compute, plans every
+    stage with flat HAP, and picks the stage count (1 = flat HAP) whose
+    GPipe-scheduled iteration time is cheapest.  The result can be executed
+    with :func:`repro.runtime.run_hierarchical_plan` or simulated with
+    :func:`repro.simulator.simulate_hierarchical`.
+
+    Args:
+        model: a single-device *forward* graph with a marked loss (stages are
+            differentiated individually, so a pre-built training graph is
+            rejected).
+        cluster: the (possibly heterogeneous) target cluster.
+        config: hierarchical-planner configuration.
+        lr: learning rate stored on the stage graphs' update nodes; when
+            omitted, ``config.lr`` applies.
+
+    Returns:
+        The winning :class:`HierarchicalPlan`.
+    """
+    if _is_training_graph(model):
+        raise ValueError(
+            "hap_pipeline() needs the forward graph (with a marked loss); "
+            "pipeline stages are differentiated individually"
+        )
+    config = config or HierarchicalConfig()
+    if lr is not None and lr != config.lr:
+        config = replace(config, lr=lr)
+    return HierarchicalPlanner(model, cluster, config).plan()

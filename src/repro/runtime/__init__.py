@@ -1,5 +1,23 @@
 """Numpy execution runtimes: single-device reference and SPMD emulation."""
 
 from .single import SingleDeviceExecutor, init_parameters, make_batch
+from .spmd import (
+    HierarchicalExecutor,
+    HierarchicalResult,
+    SPMDExecutor,
+    SPMDResult,
+    run_hierarchical_plan,
+    run_plan,
+)
 
-__all__ = ["SingleDeviceExecutor", "init_parameters", "make_batch"]
+__all__ = [
+    "SingleDeviceExecutor",
+    "init_parameters",
+    "make_batch",
+    "SPMDExecutor",
+    "SPMDResult",
+    "run_plan",
+    "HierarchicalExecutor",
+    "HierarchicalResult",
+    "run_hierarchical_plan",
+]

@@ -54,6 +54,7 @@ class SPMDExecutor:
         self,
         program: DistributedProgram,
         ratios: Sequence[float],
+        batch_hint: Optional[int] = None,
     ) -> None:
         self.program = program
         self.graph: ComputationGraph = program.graph
@@ -62,6 +63,11 @@ class SPMDExecutor:
             raise ValueError(
                 f"expected {self.world} ratios, got {len(list(ratios))}"
             )
+        #: Explicit batch size for ratio snapping.  Pipeline-stage graphs mix
+        #: placeholders whose leading dimension is the batch (data, incoming
+        #: activations) with flattened ``batch*seq`` activations and gradient
+        #: seeds, so the batch cannot always be inferred from the graph alone.
+        self._batch_hint = batch_hint
         self.ratios = self._snap_to_batch(list(ratios))
         # (ref, state) -> list of per-rank local arrays
         self._env: Dict[Tuple[str, DistState], List[np.ndarray]] = {}
@@ -82,35 +88,53 @@ class SPMDExecutor:
         paper's runtime loads "a mini-batch of input data according to their
         sharding ratios" (Sec. 6).
         """
-        placeholders = self.graph.placeholders()
-        batch_sizes = {p.spec.shape[0] for p in placeholders if p.spec.rank > 0}
-        if len(batch_sizes) != 1:
-            return ratios
-        batch = batch_sizes.pop()
+        if self._batch_hint is not None:
+            batch = self._batch_hint
+        else:
+            placeholders = self.graph.placeholders()
+            batch_sizes = {p.spec.shape[0] for p in placeholders if p.spec.rank > 0}
+            if len(batch_sizes) != 1:
+                return ratios
+            batch = batch_sizes.pop()
         from ..graph.tensor import shard_sizes
 
         sizes = shard_sizes(batch, ratios)
         return [s / batch for s in sizes]
 
     # -- public API ---------------------------------------------------------------
-    def run(self, bindings: Mapping[str, np.ndarray]) -> SPMDResult:
+    def run(
+        self,
+        bindings: Mapping[str, np.ndarray],
+        stop_after: Optional[Sequence[str]] = None,
+    ) -> SPMDResult:
         """Execute the program for one iteration.
 
         Args:
             bindings: *global* values for every placeholder and parameter of
                 the single-device graph (each rank receives its shard/replica
                 according to the program's source instructions).
+            stop_after: optional reference-tensor names; execution stops as
+                soon as all of them have been produced (in any distribution
+                state).  Used by the hierarchical runtime's forward sweep to
+                harvest boundary activations without paying for the stage's
+                backward pass.
 
         Returns:
-            The global loss and reassembled output tensors.
+            The global loss and reassembled output tensors (of whatever was
+            produced before stopping).
         """
         self._env.clear()
         self._uneven_splits.clear()
+        remaining = set(stop_after) if stop_after else None
         for instr in self.program.instructions:
             if isinstance(instr, CommInstruction):
                 self._run_comm(instr)
             else:
                 self._run_comp(instr, bindings)
+            if remaining is not None:
+                remaining.discard(instr.output.ref)
+                if not remaining:
+                    break
         return self._collect_results()
 
     # -- result assembly -------------------------------------------------------------
@@ -286,3 +310,142 @@ def run_plan(
     """Execute a :class:`~repro.core.pipeline.HAPPlan` for one iteration."""
     executor = SPMDExecutor(plan.program, plan.flat_ratios)
     return executor.run(bindings)
+
+
+# ---------------------------------------------------------------------------
+# Hierarchical (pipeline-over-SPMD) execution
+# ---------------------------------------------------------------------------
+
+@dataclass
+class HierarchicalResult:
+    """Result of one emulated iteration of a hierarchical plan.
+
+    Attributes:
+        loss: the global scalar loss (computed by the last stage).
+        updated_parameters: parameter name -> updated global value, unified
+            across stages (stage graphs generate their own update-node names,
+            so results are keyed by the original parameter).
+        outputs: raw per-stage output tensors keyed by output-node name.
+        per_stage_rank_bytes: per-stage per-rank memory footprints.
+    """
+
+    loss: Optional[float]
+    updated_parameters: Dict[str, np.ndarray]
+    outputs: Dict[str, np.ndarray]
+    per_stage_rank_bytes: List[List[int]]
+
+
+class HierarchicalExecutor:
+    """Executes a :class:`~repro.core.hierarchical.HierarchicalPlan`.
+
+    Each pipeline stage is an independent :class:`SPMDExecutor` over the
+    stage's machine group.  Execution chains the stages through explicit
+    activation/gradient handoff, the emulation analogue of the point-to-point
+    sends of a real pipeline schedule:
+
+    1. *forward sweep* (stages ``0..S-2``): each stage program runs only
+       until its boundary-output activations are produced (the backward
+       instructions never execute; gradient seeds are bound to zeros purely
+       as a fallback), and the activations are handed to the next stage;
+    2. *backward sweep* (stages ``S-1..0``): each stage program re-runs with
+       the gradient seeds bound to the (summed) gradients received from its
+       downstream consumers, producing the stage's parameter updates and the
+       gradients it sends upstream.
+
+    The re-execution of the forward part during the backward sweep is exactly
+    activation recomputation (gradient checkpointing); with deterministic
+    kernels the recomputed activations are identical, so the chained result
+    matches single-device training up to floating-point reduction order.
+    """
+
+    def __init__(self, plan) -> None:
+        self.plan = plan
+        self.executors = [
+            SPMDExecutor(stage.program, stage.ratios, batch_hint=plan.batch_size)
+            for stage in plan.stages
+        ]
+
+    def _stage_bindings(
+        self,
+        stage,
+        bindings: Mapping[str, np.ndarray],
+        activations: Mapping[str, np.ndarray],
+        grads: Optional[Mapping[str, np.ndarray]],
+    ) -> Dict[str, np.ndarray]:
+        """Bindings for one stage run: data, params, activations, grad seeds."""
+        info = stage.info
+        seed_ref = {seed: ref for ref, seed in info.grad_input_of.items()}
+        out: Dict[str, np.ndarray] = {}
+        for node in info.graph:
+            if node.op not in ("placeholder", "parameter"):
+                continue
+            name = node.name
+            if name in seed_ref:
+                ref = seed_ref[name]
+                if grads is not None and ref in grads:
+                    out[name] = grads[ref]
+                else:
+                    out[name] = np.zeros(node.spec.shape, dtype=np.float32)
+            elif name in activations:
+                out[name] = activations[name]
+            elif name in bindings:
+                out[name] = np.asarray(bindings[name])
+            else:
+                raise GraphError(
+                    f"stage {stage.index}: no binding or upstream activation for {name!r}"
+                )
+        return out
+
+    def run(self, bindings: Mapping[str, np.ndarray]) -> HierarchicalResult:
+        """Execute one training iteration across all pipeline stages.
+
+        Args:
+            bindings: global values for every placeholder and parameter of
+                the *original* single-device graph (stage graphs reuse the
+                original node names, so one bindings dict serves all stages).
+        """
+        stages = self.plan.stages
+        activations: Dict[str, np.ndarray] = {}
+        # Forward sweep: produce the cut activations stage by stage.  The
+        # last stage is skipped — it exports nothing downstream and runs
+        # exactly once in the backward sweep.
+        for stage, executor in zip(stages[:-1], self.executors[:-1]):
+            result = executor.run(
+                self._stage_bindings(stage, bindings, activations, None),
+                stop_after=stage.info.boundary_outputs,
+            )
+            for ref in stage.info.boundary_outputs:
+                activations[ref] = result.outputs[ref]
+
+        grads: Dict[str, np.ndarray] = {}
+        loss: Optional[float] = None
+        updated: Dict[str, np.ndarray] = {}
+        outputs: Dict[str, np.ndarray] = {}
+        per_stage_bytes: List[List[int]] = [[] for _ in stages]
+        # Backward sweep: run with real gradient seeds, collect updates and
+        # propagate boundary gradients upstream (summing over consumers).
+        for index in reversed(range(len(stages))):
+            stage = stages[index]
+            result = self.executors[index].run(
+                self._stage_bindings(stage, bindings, activations, grads)
+            )
+            per_stage_bytes[index] = result.per_rank_bytes
+            if stage.info.loss is not None:
+                loss = result.loss
+            for param, update_node in stage.info.updates.items():
+                updated[param] = result.outputs[update_node]
+            for ref, grad_node in stage.info.grad_output_of.items():
+                contribution = result.outputs[grad_node]
+                grads[ref] = grads[ref] + contribution if ref in grads else contribution
+            outputs.update(result.outputs)
+        return HierarchicalResult(
+            loss=loss,
+            updated_parameters=updated,
+            outputs=outputs,
+            per_stage_rank_bytes=per_stage_bytes,
+        )
+
+
+def run_hierarchical_plan(plan, bindings: Mapping[str, np.ndarray]) -> HierarchicalResult:
+    """Execute a :class:`~repro.core.hierarchical.HierarchicalPlan` once."""
+    return HierarchicalExecutor(plan).run(bindings)

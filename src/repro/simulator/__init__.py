@@ -1,5 +1,23 @@
 """Execution simulator: the reproduction's stand-in for running on GPUs."""
 
-from .engine import ExecutionSimulator, OverheadModel, SimulationResult, simulate_plan
+from .engine import (
+    ExecutionSimulator,
+    HierarchicalSimulationResult,
+    OverheadModel,
+    SimulationResult,
+    simulate_hierarchical,
+    simulate_plan,
+)
+from .schedule import ScheduleResult, StageTimes, simulate_pipeline
 
-__all__ = ["ExecutionSimulator", "OverheadModel", "SimulationResult", "simulate_plan"]
+__all__ = [
+    "ExecutionSimulator",
+    "OverheadModel",
+    "SimulationResult",
+    "simulate_plan",
+    "HierarchicalSimulationResult",
+    "simulate_hierarchical",
+    "ScheduleResult",
+    "StageTimes",
+    "simulate_pipeline",
+]

@@ -24,6 +24,7 @@ from ..core.costmodel import CostModel
 from ..core.instructions import CommInstruction, CompInstruction
 from ..core.program import DistributedProgram
 from ..graph.ops import OpKind
+from .schedule import ScheduleResult, StageTimes, simulate_pipeline
 
 
 @dataclass(frozen=True)
@@ -111,6 +112,34 @@ class ExecutionSimulator:
         base = cost_model.comm_time(instr, ratios)
         return base * self.overheads.congestion + self.overheads.collective_launch
 
+    # -- per-program replay (shared by simulate() and profile_program()) -----------------
+    def _replay_stages(
+        self,
+        cost_model: CostModel,
+        program: DistributedProgram,
+        ratios: Sequence[float],
+    ):
+        """Yield ``(stage, comm_time, per_device_comp_times)`` per sync stage.
+
+        This is the deterministic core of the simulator: every secondary
+        effect (kernel launches, memory-bandwidth bounds, congestion) is
+        applied, but run-to-run noise is left to the caller so the same
+        replay can back both the noisy :meth:`simulate` and the
+        noise-free :meth:`profile_program`.
+        """
+        m = self.cluster.num_devices
+        for stage in program.stages():
+            comm = 0.0
+            if stage.comm is not None:
+                comm = self._comm_time(cost_model, stage.comm, ratios)
+            device_time = [0.0] * m
+            for comp in stage.comps:
+                if isinstance(comp, CommInstruction):
+                    continue  # local slice pseudo-collective
+                for j in range(m):
+                    device_time[j] += self._comp_time(cost_model, comp, j, ratios[j])
+            yield stage, comm, device_time
+
     # -- main entry point --------------------------------------------------------------
     def simulate(
         self,
@@ -126,26 +155,16 @@ class ExecutionSimulator:
             iterations: number of iterations to average over (noise reduction).
         """
         cost_model = CostModel(program.graph, self.cluster)
-        m = self.cluster.num_devices
         totals = []
         comm_total = comp_total = overhead_total = 0.0
         stage_times: List[float] = []
-        busy = [0.0] * m
+        busy = [0.0] * self.cluster.num_devices
         for _ in range(max(1, iterations)):
             iter_comm = iter_comp = iter_overhead = 0.0
             iter_stages: List[float] = []
-            for stage in program.stages():
-                comm = 0.0
-                if stage.comm is not None:
-                    comm = self._comm_time(cost_model, stage.comm, ratios)
-                device_time = [0.0] * m
-                for comp in stage.comps:
-                    if isinstance(comp, CommInstruction):
-                        continue  # local slice pseudo-collective
-                    for j in range(m):
-                        t = self._comp_time(cost_model, comp, j, ratios[j])
-                        device_time[j] += t
-                        busy[j] += t
+            for _stage, comm, device_time in self._replay_stages(cost_model, program, ratios):
+                for j, t in enumerate(device_time):
+                    busy[j] += t
                 noise = float(self.rng.normal(1.0, self.overheads.noise))
                 comp = max(device_time) * max(noise, 0.5)
                 stage_total = comm + comp + self.overheads.framework_per_stage
@@ -168,8 +187,104 @@ class ExecutionSimulator:
             per_device_busy=[b / n for b in busy],
         )
 
+    def profile_program(
+        self,
+        program: DistributedProgram,
+        ratios: Sequence[float],
+        forward_nodes,
+        send_bytes: float = 0.0,
+    ) -> StageTimes:
+        """Measured (overhead-rich, noise-free) pipeline profile of a program.
+
+        Splits the simulated per-iteration time of a pipeline-stage program
+        into the forward / backward / once-per-iteration-sync phases the
+        pipeline-schedule simulator consumes, using the same per-instruction
+        time models as :meth:`simulate` via
+        :meth:`~repro.core.costmodel.CostModel.phase_profile`.
+        """
+        cost_model = CostModel(program.graph, self.cluster)
+        buckets = cost_model.phase_profile(
+            program,
+            ratios,
+            forward_nodes,
+            comp_times_fn=lambda instr, r: [
+                self._comp_time(cost_model, instr, j, r[j])
+                for j in range(self.cluster.num_devices)
+            ],
+            comm_time_fn=lambda instr, r: self._comm_time(cost_model, instr, r),
+            per_stage_overhead=self.overheads.framework_per_stage,
+        )
+        return StageTimes(
+            forward=buckets["forward"],
+            backward=buckets["backward"],
+            sync=buckets["sync"],
+            send_bytes=send_bytes,
+        )
+
 
 def simulate_plan(plan, cluster: ClusterSpec, iterations: int = 3, seed: int = 0) -> SimulationResult:
     """Simulate an :class:`~repro.core.pipeline.HAPPlan` on a cluster."""
     sim = ExecutionSimulator(cluster, seed=seed)
     return sim.simulate(plan.program, plan.flat_ratios, iterations=iterations)
+
+
+@dataclass
+class HierarchicalSimulationResult:
+    """Simulated per-iteration time of a pipelined (hierarchical) plan.
+
+    Attributes:
+        total: mean pipelined iteration time across the simulated iterations.
+        schedule: the noise-free schedule behind the mean.
+        stage_times: per-stage measured profiles fed to the schedule.
+        samples: per-iteration noisy totals.
+    """
+
+    total: float
+    schedule: ScheduleResult
+    stage_times: List[StageTimes] = field(default_factory=list)
+    samples: List[float] = field(default_factory=list)
+
+
+def simulate_hierarchical(
+    plan,
+    iterations: int = 3,
+    seed: int = 0,
+    overheads: Optional[OverheadModel] = None,
+) -> HierarchicalSimulationResult:
+    """Simulate a :class:`~repro.core.hierarchical.HierarchicalPlan`.
+
+    Every stage program is profiled on its own machine group with the full
+    overhead model, the GPipe schedule combines the stages over the
+    partition's inter-group link, and the run-to-run noise the flat simulator
+    applies per stage is applied to the pipelined iteration total.  A 1-stage
+    plan reduces to the flat simulation of its single program (whole batch,
+    no transfers).
+    """
+    overheads = overheads or OverheadModel()
+    stage_times: List[StageTimes] = []
+    for stage in plan.stages:
+        sim = ExecutionSimulator(stage.subcluster, overheads=overheads, seed=seed)
+        stage_times.append(
+            sim.profile_program(
+                stage.program, stage.ratios, stage.forward_nodes, send_bytes=stage.send_bytes
+            )
+        )
+    network = plan.partition.inter_group_network
+    schedule = simulate_pipeline(
+        stage_times,
+        num_microbatches=plan.num_microbatches,
+        inter_group_bandwidth=network.bandwidth,
+        inter_group_latency=network.latency,
+        microbatch_overhead=plan.microbatch_overhead,
+    )
+    rng = np.random.default_rng(seed)
+    samples = [
+        schedule.total * max(float(rng.normal(1.0, overheads.noise)), 0.5)
+        for _ in range(max(1, iterations))
+    ]
+    return HierarchicalSimulationResult(
+        total=float(np.mean(samples)),
+        schedule=schedule,
+        stage_times=stage_times,
+        samples=samples,
+    )

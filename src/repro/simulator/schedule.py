@@ -1,0 +1,149 @@
+"""Pipeline-schedule simulator: iteration time of pipelined SPMD stages.
+
+Flat HAP executes one SPMD program on the whole cluster; the hierarchical
+planner instead runs one SPMD program per machine group and pipelines
+microbatches through them.  This module computes the per-iteration time of
+such a plan with a discrete GPipe-style schedule: microbatch forwards fill the
+pipeline front to back, backwards drain it in reverse microbatch order
+(1F1B's steady state has the same per-stage work and the same drain critical
+path, so the fill/drain accounting below covers both), and each stage finally
+performs its once-per-iteration gradient synchronisation.  Bubble (idle ramp
+time), activation/gradient point-to-point transfers over the inter-group link
+and per-microbatch launch overheads are all modelled explicitly.
+
+This module is deliberately free of imports from the rest of the package: it
+consumes plain per-stage timings (:class:`StageTimes`) that either the cost
+model (planning estimates) or the execution simulator (measurements) can
+produce, so the planner and the simulator share one schedule implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class StageTimes:
+    """Timing inputs of one pipeline stage, for the *full* mini-batch.
+
+    Attributes:
+        forward: forward time of the stage program for the whole mini-batch
+            (scaled by ``1/num_microbatches`` per microbatch).
+        backward: backward (gradient) time for the whole mini-batch.
+        sync: once-per-iteration work — parameter collectives, gradient
+            all-reduce and optimizer updates — paid after the stage drains.
+        send_bytes: activation bytes this stage sends to the next stage for
+            the whole mini-batch (the backward pass returns gradients of the
+            same size).
+    """
+
+    forward: float
+    backward: float
+    sync: float = 0.0
+    send_bytes: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.forward + self.backward + self.sync
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one pipelined iteration.
+
+    Attributes:
+        total: per-iteration wall-clock time.
+        num_microbatches: microbatch count the schedule ran with.
+        stage_finish: per-stage time at which the stage (including its
+            gradient sync) finished.
+        stage_busy: per-stage busy seconds (compute + sync, excluding idle).
+        bubble: mean per-stage idle time within the iteration, in seconds.
+        bubble_fraction: ``bubble / total`` (0 for a single stage).
+        transfer: total activation+gradient transfer seconds on the critical
+            path accounting (sum over boundaries and microbatches).
+    """
+
+    total: float
+    num_microbatches: int
+    stage_finish: List[float] = field(default_factory=list)
+    stage_busy: List[float] = field(default_factory=list)
+    bubble: float = 0.0
+    bubble_fraction: float = 0.0
+    transfer: float = 0.0
+
+
+def simulate_pipeline(
+    stages: Sequence[StageTimes],
+    num_microbatches: int,
+    inter_group_bandwidth: float,
+    inter_group_latency: float = 0.0,
+    microbatch_overhead: float = 0.0,
+) -> ScheduleResult:
+    """Simulate one GPipe iteration over the given stages.
+
+    Per-microbatch forward/backward times are the full-batch times divided by
+    ``num_microbatches`` plus a fixed ``microbatch_overhead`` (kernel-launch /
+    scheduling cost that does not shrink with the microbatch).  A transfer of
+    ``send_bytes / num_microbatches`` over the inter-group link separates
+    adjacent stages in both directions.  With one stage the schedule
+    degenerates to ``forward + backward + sync`` — the flat SPMD time.
+
+    Returns:
+        The :class:`ScheduleResult`; ``total`` is the iteration time.
+    """
+    if num_microbatches < 1:
+        raise ValueError("num_microbatches must be >= 1")
+    if not stages:
+        raise ValueError("stages must be non-empty")
+    s = len(stages)
+    m = num_microbatches
+    fwd = [st.forward / m + microbatch_overhead for st in stages]
+    bwd = [st.backward / m + microbatch_overhead for st in stages]
+    # Per-microbatch transfer time from stage i to stage i+1 (and back).
+    xfer = [
+        0.0
+        if i == s - 1
+        else inter_group_latency + (stages[i].send_bytes / m) / inter_group_bandwidth
+        for i in range(s)
+    ]
+
+    # Forward fill: stage i starts microbatch j when its previous microbatch
+    # is done and the activation from stage i-1 has arrived.
+    finish_f = [[0.0] * m for _ in range(s)]
+    busy_until = [0.0] * s
+    for j in range(m):
+        for i in range(s):
+            ready = finish_f[i - 1][j] + xfer[i - 1] if i > 0 else 0.0
+            start = max(ready, busy_until[i])
+            finish_f[i][j] = start + fwd[i]
+            busy_until[i] = finish_f[i][j]
+
+    # Backward drain in reverse microbatch order: stage i starts microbatch j
+    # when the gradient from stage i+1 has arrived (last stage: when its own
+    # forward is done).
+    finish_b = [[0.0] * m for _ in range(s)]
+    for j in reversed(range(m)):
+        for i in reversed(range(s)):
+            if i == s - 1:
+                ready = finish_f[i][j]
+            else:
+                ready = finish_b[i + 1][j] + xfer[i]
+            start = max(ready, busy_until[i])
+            finish_b[i][j] = start + bwd[i]
+            busy_until[i] = finish_b[i][j]
+
+    stage_finish = [busy_until[i] + stages[i].sync for i in range(s)]
+    total = max(stage_finish)
+    stage_busy = [m * (fwd[i] + bwd[i]) + stages[i].sync for i in range(s)]
+    bubble = sum(max(total - b, 0.0) for b in stage_busy) / s
+    transfer = 2.0 * m * sum(xfer[:-1]) if s > 1 else 0.0
+    return ScheduleResult(
+        total=total,
+        num_microbatches=m,
+        stage_finish=stage_finish,
+        stage_busy=stage_busy,
+        bubble=bubble,
+        bubble_fraction=bubble / total if total > 0 else 0.0,
+        transfer=transfer,
+    )

@@ -175,3 +175,53 @@ class TestProgramStructure:
         assert kinds.get("all_reduce", 0) + kinds.get("reduce_scatter", 0) >= 1
         # all parameters stay replicated under DP
         assert all(v is None for v in result.program.parameter_shardings().values())
+
+
+class TestAStarCompletionFallback:
+    """Trimming the unrestricted A* open list must never yield failure.
+
+    The ROADMAP-listed dead-end: with ``follow_topological_order=False`` and
+    ``beam_width`` set, open-list trimming can discard every completable
+    state.  The completion fallback (greedy best-prefix completion, then an
+    untrimmed retry) must always return a valid program on the registry
+    models.
+    """
+
+    @pytest.mark.parametrize(
+        "model", ["vgg19", "vit", "bert_base", "bert_moe"]
+    )
+    def test_registry_models_never_fail(self, model, four_device_cluster):
+        from repro.models import build_tiny_model
+
+        training = build_training_graph(build_tiny_model(model)).graph
+        config = SynthesisConfig(
+            search_strategy="astar",
+            follow_topological_order=False,
+            beam_width=8,
+        )
+        result = ProgramSynthesizer(training, four_device_cluster, config).synthesize()
+        # The fallback program is complete: every output is established.
+        established = {p.ref for p in result.program.properties}
+        assert set(training.outputs) <= established
+        assert result.cost > 0
+
+    def test_fallback_program_is_executable(self, four_device_cluster):
+        import numpy as np
+
+        from repro.runtime import SingleDeviceExecutor
+        from repro.runtime.spmd import SPMDExecutor
+
+        from .conftest import bindings_for
+
+        training = build_training_graph(build_mlp())
+        config = SynthesisConfig(
+            search_strategy="astar", follow_topological_order=False, beam_width=8
+        )
+        result = ProgramSynthesizer(training.graph, four_device_cluster, config).synthesize()
+        bindings = bindings_for(training.graph, seed=7)
+        ratios = four_device_cluster.proportional_ratios()
+        spmd = SPMDExecutor(result.program, ratios).run(bindings)
+        reference = SingleDeviceExecutor(training.graph).run(bindings)
+        assert spmd.loss == pytest.approx(
+            float(reference[training.loss]), rel=2e-4, abs=1e-4
+        )
