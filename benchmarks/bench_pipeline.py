@@ -1,0 +1,196 @@
+"""Pipeline-schedule planning benchmark harness.
+
+Times hierarchical (pipeline-over-SPMD) planning — whose candidate space is
+now a (stage count x schedule x microbatch count x recomputation) grid — on
+three representative testbeds, and records the chosen plan so schedule-search
+cost regressions and plan-quality drifts are both visible:
+
+* ``hetero-bandwidth``: the whimpy heterogeneous cluster (fast rack-local
+  links, slow 10.4 Gbps inter-group network) where pipelining wins big;
+* ``memory-constrained``: 1 GB devices where GPipe's linear activation
+  footprint is infeasible and the planner must fall back to 1F1B-family
+  schedules at high microbatch counts;
+* ``homogeneous-fast``: a compute-bound cluster with a fast flat network
+  where the planner must degenerate to flat HAP.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.bench_pipeline            # default
+    PYTHONPATH=src python -m benchmarks.bench_pipeline --fast     # CI-sized
+    PYTHONPATH=src python -m benchmarks.bench_pipeline --max-planning-seconds 120
+
+Writes ``BENCH_pipeline.json``.  With ``--max-planning-seconds`` the harness
+exits non-zero when any testbed's planner wall-clock exceeds the budget —
+the CI guard against schedule-search blow-ups.  This file deliberately does
+not match ``test_*.py`` so pytest does not collect it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.cluster import ClusterSpec, Machine, NetworkSpec, heterogeneous_testbed, homogeneous_testbed
+from repro.cluster.device import DeviceType
+from repro.core import HierarchicalConfig
+from repro.hap import hap_pipeline
+from repro.models import BenchmarkScale, build_model
+
+from .conftest import bench_planner
+
+
+def _memory_constrained_cluster(num_machines: int = 4) -> ClusterSpec:
+    small = DeviceType("SmallGPU", peak_tflops=15.0, memory_bytes=1 * 1024 ** 3)
+    machines = [
+        Machine(f"m{i}", small, num_gpus=1, intra_bandwidth=100e9)
+        for i in range(num_machines)
+    ]
+    return ClusterSpec(
+        machines,
+        network=NetworkSpec(bandwidth=100e9 / 8, latency=5e-6),
+        group_by_machine=True,
+        name="mem-constrained",
+    )
+
+
+def _homogeneous_fast() -> ClusterSpec:
+    base = homogeneous_testbed()
+    return ClusterSpec(
+        base.machines,
+        network=NetworkSpec(bandwidth=200e9, latency=1e-6),
+        group_by_machine=base.group_by_machine,
+        name="homog-fast",
+    )
+
+
+def _testbeds(fast: bool) -> List[Dict[str, object]]:
+    """(name, cluster, per-testbed overrides) per benchmarked setup."""
+    intra = NetworkSpec(bandwidth=100e9 / 8)
+    # The memory-constrained testbed needs a batch large enough that GPipe's
+    # linear activation stash bursts the 1 GB devices while 1F1B's
+    # depth-bounded stash fits — otherwise the schedule-selection path the
+    # benchmark documents would go unexercised.
+    memory_scale = BenchmarkScale(
+        "bench-mem", layer_fraction=0.17 if fast else 0.34, batch_per_device=16
+    )
+    return [
+        {
+            "name": "hetero-bandwidth",
+            "cluster": heterogeneous_testbed(num_gpus=16 if fast else 32, gpus_per_machine=8),
+            "intra_group_network": intra,
+            "scale": None,
+        },
+        {
+            "name": "memory-constrained",
+            "cluster": _memory_constrained_cluster(),
+            "intra_group_network": None,
+            "scale": memory_scale,
+        },
+        {
+            "name": "homogeneous-fast",
+            "cluster": _homogeneous_fast(),
+            "intra_group_network": None,
+            "scale": None,
+        },
+    ]
+
+
+def run_benchmark(fast: bool, beam: int, rounds: int) -> Dict[str, object]:
+    # The reduced batch exercises BenchmarkScale.batch_per_device end to end:
+    # the global batch genuinely shrinks with the scale now.
+    default_scale = BenchmarkScale(
+        "bench", layer_fraction=0.17 if fast else 0.34, batch_per_device=4 if fast else 8
+    )
+    results: List[Dict[str, object]] = []
+    for testbed in _testbeds(fast):
+        cluster: ClusterSpec = testbed["cluster"]  # type: ignore[assignment]
+        scale: BenchmarkScale = testbed["scale"] or default_scale  # type: ignore[assignment]
+        forward = build_model("bert_base", num_gpus=cluster.num_gpus, scale=scale)
+        config = HierarchicalConfig(
+            planner=bench_planner(beam=beam, rounds=rounds),
+            intra_group_network=testbed["intra_group_network"],  # type: ignore[arg-type]
+        )
+        start = time.perf_counter()
+        plan = hap_pipeline(forward, cluster, config)
+        planning_seconds = time.perf_counter() - start
+        results.append(
+            {
+                "testbed": testbed["name"],
+                "num_gpus": cluster.num_gpus,
+                "batch_per_device": scale.batch_per_device,
+                "planning_seconds": planning_seconds,
+                "num_stages": plan.num_stages,
+                "schedule": plan.schedule_name,
+                "num_microbatches": plan.num_microbatches,
+                "num_model_chunks": plan.num_model_chunks,
+                "recompute": plan.recompute,
+                "fits_memory": plan.fits_memory,
+                "estimated_ms": plan.estimated_time * 1e3,
+                "bubble_fraction": plan.schedule.bubble_fraction,
+                "candidates_evaluated": len(plan.schedule_candidate_times),
+                "peak_memory_gb": [p / 1e9 for p in plan.peak_memory],
+            }
+        )
+        print(
+            f"{testbed['name']:>20s}: planned in {planning_seconds:6.1f}s -> "
+            f"{plan.num_stages} stage(s), {plan.schedule_name} x{plan.num_microbatches} mb, "
+            f"est {plan.estimated_time * 1e3:.1f} ms "
+            f"({len(plan.schedule_candidate_times)} candidates)"
+        )
+    return {
+        "benchmark": "pipeline-schedule planning",
+        "mode": "fast" if fast else "default",
+        "scale": {
+            "layer_fraction": default_scale.layer_fraction,
+            "batch_per_device": default_scale.batch_per_device,
+        },
+        "beam_width": beam,
+        "max_rounds": rounds,
+        "python": platform.python_version(),
+        "results": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="CI-sized sweep")
+    parser.add_argument("--beam", type=int, default=8, help="per-stage synthesis beam width")
+    parser.add_argument("--rounds", type=int, default=1, help="per-stage (Q, B) rounds")
+    parser.add_argument("--output", default="BENCH_pipeline.json")
+    parser.add_argument(
+        "--max-planning-seconds",
+        type=float,
+        default=None,
+        help="fail when any testbed's planner wall-clock exceeds this budget",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.fast, args.beam, args.rounds)
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.max_planning_seconds is not None:
+        slow = [
+            r
+            for r in report["results"]  # type: ignore[union-attr]
+            if r["planning_seconds"] > args.max_planning_seconds
+        ]
+        if slow:
+            names = ", ".join(
+                f"{r['testbed']} ({r['planning_seconds']:.1f}s)" for r in slow
+            )
+            print(
+                f"FAIL: planning exceeded {args.max_planning_seconds:.0f}s on: {names}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,10 @@ def bench_scale() -> BenchmarkScale:
     """Model scale used by the benchmarks (paper scale when FULL)."""
     if FULL:
         return BenchmarkScale.paper()
-    return BenchmarkScale("bench", layer_fraction=0.17, batch_per_device=64)
+    # batch_per_device=None keeps every model's paper per-GPU batch (now that
+    # build_model honours the scale's batch, an explicit 64 would double
+    # BERT-MoE's batch relative to the paper).
+    return BenchmarkScale("bench", layer_fraction=0.17)
 
 
 def bench_planner(beam: int = 8, rounds: int = 1) -> PlannerConfig:

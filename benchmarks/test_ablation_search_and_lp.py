@@ -17,7 +17,7 @@ from .conftest import FULL
 
 
 def _training_graph():
-    scale = BenchmarkScale("bench", layer_fraction=0.17, batch_per_device=64)
+    scale = BenchmarkScale("bench", layer_fraction=0.17)
     return build_training_graph(build_model("bert_base", num_gpus=16, scale=scale)).graph
 
 

@@ -39,6 +39,21 @@ def main() -> None:
     print(plan.partition.describe())
     print()
 
+    chunks = f" x{plan.num_model_chunks} model chunks" if plan.num_model_chunks > 1 else ""
+    recompute = "on" if plan.recompute else "off"
+    print(f"chosen schedule:        {plan.schedule_name}{chunks}")
+    print(f"microbatches:           {plan.num_microbatches}")
+    print(f"activation recompute:   {recompute}")
+    for stage in plan.stages:
+        peak = plan.peak_memory[stage.index]
+        cap = plan.stage_memory_capacity[stage.index]
+        print(
+            f"stage {stage.index} peak memory:     {peak / 1e9:6.2f} GB "
+            f"of {cap / 1e9:.0f} GB on {stage.subcluster.name} "
+            f"(in-flight microbatches: {plan.schedule.peak_inflight[stage.index]})"
+        )
+    print()
+
     flat = hap(forward, cluster, planner_config)
     pipeline_time = simulate_hierarchical(plan, iterations=3, seed=0).total
     flat_time = simulate_plan(flat, cluster, iterations=3, seed=0).total

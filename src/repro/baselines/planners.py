@@ -15,7 +15,11 @@ from typing import Dict, List, Optional, Sequence
 from ..cluster.spec import ClusterSpec
 from ..core.config import PlannerConfig, SynthesisConfig
 from ..core.costmodel import CostBreakdown, CostModel
-from ..core.hierarchical import HierarchicalConfig, HierarchicalPlan
+from ..core.hierarchical import (
+    OPTIMIZER_STATE_FACTOR,
+    HierarchicalConfig,
+    HierarchicalPlan,
+)
 from ..core.pipeline import HAPPlan, HAPPlanner
 from ..core.program import DistributedProgram
 from ..core.synthesizer import ProgramSynthesizer
@@ -59,8 +63,9 @@ def estimate_memory_per_device(
     """Per-device memory estimate for parameters, gradients and optimizer state.
 
     Sharded parameters contribute proportionally to the device's ratio,
-    replicated parameters contribute fully; the total is multiplied by 3 to
-    account for the gradient and one optimizer moment, plus a activation term
+    replicated parameters contribute fully; the total is multiplied by
+    :data:`~repro.core.hierarchical.OPTIMIZER_STATE_FACTOR` to account for
+    the gradient and one optimizer moment, plus an activation term
     proportional to the batch shard.
     """
     graph = program.graph
@@ -77,7 +82,7 @@ def estimate_memory_per_device(
         share = ratios[j]
         params = replicated_bytes + sharded_bytes * share
         acts = activation_bytes * share * 0.25  # re-materialisation / fusion discount
-        totals.append(3.0 * params + acts)
+        totals.append(OPTIMIZER_STATE_FACTOR * params + acts)
     return totals
 
 

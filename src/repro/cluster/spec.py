@@ -40,6 +40,11 @@ class ClusterSpec:
         network: inter-machine network model.
         group_by_machine: if True, each machine is one HAP virtual device
             (data parallelism inside); otherwise every GPU is a virtual device.
+        memory_reserve_fraction: fraction of every device's HBM withheld from
+            the capacity queries (framework workspace, fragmentation, CUDA
+            context).  The hierarchical planner's schedule-aware memory
+            checks use :meth:`device_memory`, so reserving headroom here
+            tightens every out-of-memory decision consistently.
     """
 
     def __init__(
@@ -48,13 +53,19 @@ class ClusterSpec:
         network: Optional[NetworkSpec] = None,
         group_by_machine: bool = True,
         name: str = "cluster",
+        memory_reserve_fraction: float = 0.0,
     ) -> None:
         if not machines:
             raise ValueError("a cluster needs at least one machine")
+        if not 0.0 <= memory_reserve_fraction < 1.0:
+            raise ValueError(
+                f"memory_reserve_fraction must be in [0, 1), got {memory_reserve_fraction!r}"
+            )
         self.machines: List[Machine] = list(machines)
         self.network = network or NetworkSpec()
         self.group_by_machine = group_by_machine
         self.name = name
+        self.memory_reserve_fraction = memory_reserve_fraction
         self._virtual_devices = self._build_virtual_devices()
 
     def _build_virtual_devices(self) -> List[VirtualDevice]:
@@ -91,8 +102,13 @@ class ClusterSpec:
         return [d.flops for d in self._virtual_devices]
 
     def device_memory(self) -> List[int]:
-        """Memory capacity in bytes of every virtual device."""
-        return [d.memory_bytes for d in self._virtual_devices]
+        """Usable memory capacity in bytes of every virtual device.
+
+        The datasheet capacity minus the cluster's reserved headroom
+        (:attr:`memory_reserve_fraction`).
+        """
+        usable = 1.0 - self.memory_reserve_fraction
+        return [int(d.memory_bytes * usable) for d in self._virtual_devices]
 
     def total_flops(self) -> float:
         """Aggregate sustained flops of the cluster."""
@@ -126,6 +142,7 @@ class ClusterSpec:
             network=self.network,
             group_by_machine=self.group_by_machine,
             name=name or f"{self.name}[:{num_machines}]",
+            memory_reserve_fraction=self.memory_reserve_fraction,
         )
 
     # -- hierarchical partitioning ---------------------------------------------
@@ -170,6 +187,7 @@ class ClusterSpec:
                     parent=self,
                     group_index=idx,
                     machine_offset=start,
+                    memory_reserve_fraction=self.memory_reserve_fraction,
                 )
             )
             start = end
@@ -242,9 +260,14 @@ class Subcluster(ClusterSpec):
         parent: Optional[ClusterSpec] = None,
         group_index: int = 0,
         machine_offset: int = 0,
+        memory_reserve_fraction: float = 0.0,
     ) -> None:
         super().__init__(
-            machines, network=network, group_by_machine=group_by_machine, name=name
+            machines,
+            network=network,
+            group_by_machine=group_by_machine,
+            name=name,
+            memory_reserve_fraction=memory_reserve_fraction,
         )
         self.parent = parent
         self.group_index = group_index

@@ -14,30 +14,49 @@ bandwidth-constrained clusters.  The hierarchical planner instead
    (stage graph, machine group) pair, so all of HAP's program synthesis and
    load balancing is reused unchanged inside each stage.
 
-Candidates with different stage counts are scored with the GPipe schedule
-simulator (:mod:`repro.simulator.schedule`) — microbatched pipelining with
-bubble and inter-group activation transfers — and the cheapest wins.  One
-stage is always a candidate and reproduces flat HAP exactly, so flat planning
-is the degenerate case of hierarchical planning rather than a parallel code
-path.  This follows HetPipe's pipelining across heterogeneous machine groups
-and Hetu's hierarchical heterogeneous SPMD annotations (see PAPERS.md).
+For every stage count the planner then searches jointly over the pipeline
+**schedule** (GPipe, 1F1B, interleaved 1F1B — :mod:`repro.simulator.schedule`),
+the **microbatch count** (snapped to divisors of the global batch) and the
+**activation-recomputation** knob, rejecting combinations whose per-device
+peak memory — in-flight microbatch activations plus resident
+parameter/gradient/optimizer state — exceeds the machine group's capacity
+from the :class:`~repro.cluster.device.DeviceType` specs.  The cheapest
+memory-feasible candidate wins.  One stage is always a candidate and
+reproduces flat HAP exactly, so flat planning is the degenerate case of
+hierarchical planning rather than a parallel code path.  This follows
+HetPipe's pipelining across heterogeneous machine groups, PipeDream/Megatron
+1F1B scheduling and Hetu's hierarchical heterogeneous SPMD annotations (see
+PAPERS.md).
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..autodiff.backward import StageTrainingInfo, build_stage_training_graph
 from ..cluster.spec import ClusterPartition, ClusterSpec, NetworkSpec
 from ..graph.analysis import PipelineCut, pipeline_cut
 from ..graph.graph import ComputationGraph, GraphError
 from ..graph.ops import OpKind
-from ..simulator.schedule import ScheduleResult, StageTimes, simulate_pipeline
+from ..simulator.schedule import (
+    SCHEDULE_NAMES,
+    ScheduleResult,
+    StageTimes,
+    get_schedule,
+    peak_stage_memory,
+    simulate_pipeline,
+)
 from .config import PlannerConfig
 from .costmodel import CostModel
 from .pipeline import HAPPlan, HAPPlanner
 from .program import DistributedProgram
+
+#: Multiplier turning parameter bytes into resident state: the parameter, its
+#: gradient, and one optimizer moment (the same convention as
+#: :func:`repro.baselines.planners.estimate_memory_per_device`).
+OPTIMIZER_STATE_FACTOR = 3.0
 
 
 @dataclass
@@ -48,8 +67,19 @@ class HierarchicalConfig:
         stage_candidates: stage counts to evaluate; defaults to
             ``1..min(max_stages, num_machines)``.  1 is flat HAP.
         max_stages: cap on the default candidate range.
-        num_microbatches: microbatches per iteration used by the pipeline
-            schedule (GPipe-style fill/drain).
+        num_microbatches: fixed microbatch count; ``None`` (the default)
+            searches over ``microbatch_candidates`` instead.
+        microbatch_candidates: microbatch counts tried per (stage count,
+            schedule); each is snapped to the nearest divisor of the global
+            batch (and to a multiple of the stage count for the interleaved
+            schedule).
+        schedules: pipeline schedules searched; defaults to all of
+            :data:`repro.simulator.schedule.SCHEDULE_NAMES`.
+        num_model_chunks: model chunks per stage for ``interleaved-1f1b``.
+        recompute: activation recomputation policy — ``"never"``,
+            ``"always"``, or ``"auto"`` (try without; a recomputing variant
+            only wins when plain stashing exceeds device memory, since it
+            costs one extra forward per microbatch).
         microbatch_overhead: fixed per-microbatch launch/scheduling cost that
             does not shrink with the microbatch size.
         intra_group_network: network model inside each machine group; defaults
@@ -61,11 +91,23 @@ class HierarchicalConfig:
 
     stage_candidates: Optional[Sequence[int]] = None
     max_stages: int = 4
-    num_microbatches: int = 8
+    num_microbatches: Optional[int] = None
+    microbatch_candidates: Optional[Sequence[int]] = None
+    schedules: Optional[Sequence[str]] = None
+    num_model_chunks: int = 2
+    recompute: str = "auto"
     microbatch_overhead: float = 50e-6
     intra_group_network: Optional[NetworkSpec] = None
     planner: PlannerConfig = field(default_factory=PlannerConfig)
     lr: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.recompute not in ("never", "always", "auto"):
+            raise ValueError(
+                f"recompute must be 'never', 'always' or 'auto', got {self.recompute!r}"
+            )
+        for name in self.schedules or ():
+            get_schedule(name)  # fail fast on typos
 
 
 @dataclass
@@ -79,6 +121,13 @@ class StagePlan:
         info: stage-graph book-keeping (boundary refs, gradient seeds,
             per-parameter updates) used by the hierarchical runtime.
         send_bytes: full-mini-batch activation bytes sent to later stages.
+        recv_bytes: full-mini-batch activation bytes received from upstream
+            (the recomputation stash per in-flight microbatch).
+        activation_bytes: full-mini-batch forward activation bytes the stage
+            stashes for its backward pass.
+        sharded_param_bytes: parameter bytes the stage program shards across
+            its group (each device holds its ratio's worth).
+        replicated_param_bytes: parameter bytes replicated on every device.
     """
 
     index: int
@@ -86,6 +135,10 @@ class StagePlan:
     plan: HAPPlan
     info: StageTrainingInfo
     send_bytes: int
+    recv_bytes: int = 0
+    activation_bytes: int = 0
+    sharded_param_bytes: int = 0
+    replicated_param_bytes: int = 0
 
     @property
     def program(self) -> DistributedProgram:
@@ -98,6 +151,38 @@ class StagePlan:
     @property
     def forward_nodes(self) -> Set[str]:
         return set(self.info.forward_nodes)
+
+    def weight_bytes_total(self) -> float:
+        """Group-aggregate resident parameter/gradient/optimizer bytes."""
+        n = self.subcluster.num_devices
+        return OPTIMIZER_STATE_FACTOR * (
+            self.replicated_param_bytes * n + self.sharded_param_bytes
+        )
+
+    def peak_device_memory(
+        self, num_microbatches: int, num_chunks: int, inflight: int, recompute: bool
+    ) -> List[float]:
+        """Per-device peak bytes under a schedule's in-flight microbatch count.
+
+        Each device stashes its sharding-ratio share of the in-flight
+        activations (the batch dimension is sharded) on top of its resident
+        parameter state; the memory model itself is
+        :func:`repro.simulator.schedule.peak_stage_memory`, shared with the
+        schedule simulator's aggregate reporting.
+        """
+        return [
+            peak_stage_memory(
+                weight_bytes=OPTIMIZER_STATE_FACTOR
+                * (self.replicated_param_bytes + self.sharded_param_bytes * ratio),
+                activation_bytes=self.activation_bytes * ratio,
+                recv_bytes=self.recv_bytes * ratio,
+                inflight=inflight,
+                num_microbatches=num_microbatches,
+                num_chunks=num_chunks,
+                recompute=recompute,
+            )
+            for ratio in self.ratios
+        ]
 
 
 @dataclass
@@ -112,7 +197,20 @@ class HierarchicalPlan:
         num_microbatches: microbatch count of the schedule.
         estimated_time: planner estimate of the pipelined iteration time.
         schedule: the schedule estimate behind ``estimated_time``.
+        schedule_name: winning schedule (``gpipe``/``1f1b``/…).
+        num_model_chunks: model chunks per stage (interleaved only).
+        recompute: whether the plan recomputes activations in the backward.
+        fits_memory: True when every stage's per-device peak memory fits its
+            group's device capacity.
+        peak_memory: per-stage group-aggregate peak bytes of the schedule.
+        stage_memory_capacity: per-stage group-aggregate memory capacity.
+        stage_memory_utilization: per-stage worst-device fraction of device
+            capacity at the schedule's in-flight peak — the number behind the
+            ``fits_memory`` verdict (>1 means some device does not fit even
+            if the group aggregates look comfortable).
         candidate_times: estimated time of every stage count evaluated.
+        schedule_candidate_times: estimated time of every
+            (stage count, schedule, microbatches, recompute) combination.
         batch_size: global mini-batch size (for runtime ratio snapping).
     """
 
@@ -123,7 +221,17 @@ class HierarchicalPlan:
     num_microbatches: int
     estimated_time: float
     schedule: ScheduleResult
+    schedule_name: str = "gpipe"
+    num_model_chunks: int = 1
+    recompute: bool = False
+    fits_memory: bool = True
+    peak_memory: List[float] = field(default_factory=list)
+    stage_memory_capacity: List[float] = field(default_factory=list)
+    stage_memory_utilization: List[float] = field(default_factory=list)
     candidate_times: Dict[int, float] = field(default_factory=dict)
+    schedule_candidate_times: Dict[Tuple[int, str, int, bool], float] = field(
+        default_factory=dict
+    )
     batch_size: Optional[int] = None
     microbatch_overhead: float = 0.0
 
@@ -152,20 +260,40 @@ class HierarchicalPlan:
         return hist
 
     def describe(self) -> str:
-        """Readable plan summary (stages, groups, schedule estimate)."""
+        """Readable plan summary (stages, groups, schedule estimate, memory)."""
+        recompute = ", recompute" if self.recompute else ""
+        chunks = (
+            f" x{self.num_model_chunks} chunks" if self.num_model_chunks > 1 else ""
+        )
         lines = [
             f"Hierarchical plan on {self.cluster.name!r}: {self.num_stages} stage(s), "
-            f"{self.num_microbatches} microbatches, "
-            f"estimated {self.estimated_time * 1e3:.2f} ms/iteration "
+            f"{self.schedule_name}{chunks} schedule, {self.num_microbatches} microbatches"
+            f"{recompute}, estimated {self.estimated_time * 1e3:.2f} ms/iteration "
             f"(bubble {self.schedule.bubble_fraction * 100:.0f}%)"
         ]
+        if not self.fits_memory:
+            lines.append("  WARNING: no memory-feasible candidate; best infeasible plan kept")
         for stage in self.stages:
             group = stage.subcluster
+            peak = (
+                self.peak_memory[stage.index] if stage.index < len(self.peak_memory) else 0.0
+            )
+            cap = (
+                self.stage_memory_capacity[stage.index]
+                if stage.index < len(self.stage_memory_capacity)
+                else 0.0
+            )
+            util = (
+                f", worst device {self.stage_memory_utilization[stage.index] * 100:.0f}%"
+                if stage.index < len(self.stage_memory_utilization)
+                else ""
+            )
+            mem = f", peak mem {peak / 1e9:.2f}/{cap / 1e9:.0f} GB{util}" if cap else ""
             lines.append(
                 f"  stage {stage.index}: {len(stage.info.graph)} nodes on "
                 f"{group.name} ({group.num_gpus} GPUs), "
                 f"est {stage.plan.estimated_time.total * 1e3:.2f} ms flat, "
-                f"sends {stage.send_bytes / 1e6:.2f} MB downstream"
+                f"sends {stage.send_bytes / 1e6:.2f} MB downstream{mem}"
             )
         if self.candidate_times:
             ranked = ", ".join(
@@ -183,6 +311,9 @@ def stage_forward_graph(
     Incoming activations become placeholder nodes carrying the *original*
     node names, so downstream bindings and activation handoff need no
     renaming; the stage's own nodes are copied verbatim in topological order.
+    Attribute values are deep-copied: shape lists and nested dicts must not
+    be shared between the original graph and the per-stage copies, or a
+    mutation through one stage graph would corrupt every other stage.
     """
     graph = ComputationGraph(f"{forward.name}_p{stage}")
     for ref in cut.incoming_refs(stage):
@@ -190,14 +321,28 @@ def stage_forward_graph(
         graph.add_node(ref, "placeholder", (), {"shape": spec.shape, "dtype": spec.dtype})
     for name in cut.stages[stage]:
         node = forward[name]
-        graph.add_node(name, node.op, node.inputs, dict(node.attrs))
+        graph.add_node(name, node.op, node.inputs, copy.deepcopy(dict(node.attrs)))
     if forward.loss is not None and forward.loss in graph:
         graph.mark_loss(forward.loss)
     return graph
 
 
+def _nearest_divisor(n: int, target: int) -> int:
+    """The divisor of ``n`` closest to ``target`` (ties prefer the larger)."""
+    target = max(1, min(target, n))
+    best = 1
+    for d in range(1, n + 1):
+        if n % d:
+            continue
+        if abs(d - target) < abs(best - target) or (
+            abs(d - target) == abs(best - target) and d > best
+        ):
+            best = d
+    return best
+
+
 class HierarchicalPlanner:
-    """Searches over pipeline-stage counts, planning each stage with flat HAP."""
+    """Searches (stage count x schedule x microbatches), flat HAP per stage."""
 
     def __init__(
         self,
@@ -233,6 +378,44 @@ class HierarchicalPlanner:
             candidates.insert(0, 1)  # flat HAP is always a candidate
         return [s for s in candidates if 1 <= s <= len(self.cluster.machines)]
 
+    def _microbatch_candidates(self, num_stages: int, schedule_name: str) -> List[int]:
+        """Microbatch counts to try, snapped to divisors of the global batch.
+
+        A microbatch count above the batch size would produce empty
+        microbatches and one that does not divide the batch would produce
+        ragged ones, so candidates are clamped and snapped to the nearest
+        batch divisor whenever the batch size is known (graphs with mixed
+        leading dimensions fall back to the raw candidate list).  The
+        interleaved schedule additionally requires multiples of the stage
+        count, so non-conforming candidates are dropped and ``s``/``2s`` are
+        offered instead.
+        """
+        if self.config.num_microbatches is not None:
+            base = [self.config.num_microbatches]
+        else:
+            base = list(self.config.microbatch_candidates or (2, 4, 8, 16, 32))
+            if schedule_name == "interleaved-1f1b":
+                base += [num_stages, 2 * num_stages]
+                if self.batch_size is not None:
+                    # Divisor-snapping below can miss every multiple of the
+                    # stage count; offer the batch divisors that satisfy the
+                    # interleaved constraint directly (there may be none, in
+                    # which case the schedule is genuinely infeasible here).
+                    base += [
+                        d
+                        for d in range(num_stages, self.batch_size + 1, num_stages)
+                        if self.batch_size % d == 0
+                    ]
+        out: Set[int] = set()
+        for m in base:
+            m = max(1, int(m))
+            if self.batch_size is not None:
+                m = _nearest_divisor(self.batch_size, m)
+            if schedule_name == "interleaved-1f1b" and m % num_stages != 0:
+                continue
+            out.add(m)
+        return sorted(out)
+
     # -- per-candidate construction -------------------------------------------------
     def build_candidate(self, num_stages: int) -> Optional[HierarchicalPlan]:
         # The intra-group network only applies to proper partitions: a single
@@ -253,6 +436,25 @@ class HierarchicalPlanner:
             )
             plan = HAPPlanner(info.graph, partition.groups[idx], self.config.planner).plan()
             send_bytes = sum(self.forward[ref].spec.size_bytes for ref in cut.cut_refs[idx])
+            recv_bytes = sum(
+                self.forward[ref].spec.size_bytes for ref in cut.incoming_refs(idx)
+            )
+            activation_bytes = sum(
+                info.graph[name].spec.size_bytes
+                for name in info.forward_nodes
+                if info.graph[name].kind is not OpKind.SOURCE
+            )
+            shardings = plan.program.parameter_shardings()
+            sharded = sum(
+                p.spec.size_bytes
+                for p in info.graph.parameters()
+                if shardings.get(p.name) is not None
+            )
+            replicated = sum(
+                p.spec.size_bytes
+                for p in info.graph.parameters()
+                if shardings.get(p.name) is None
+            )
             stages.append(
                 StagePlan(
                     index=idx,
@@ -260,9 +462,31 @@ class HierarchicalPlanner:
                     plan=plan,
                     info=info,
                     send_bytes=send_bytes,
+                    recv_bytes=recv_bytes,
+                    activation_bytes=activation_bytes,
+                    sharded_param_bytes=sharded,
+                    replicated_param_bytes=replicated,
                 )
             )
-        schedule = self._estimate_schedule(partition, stages)
+        times = self._stage_times(stages)
+        best = self._search_schedules(partition, stages, times)
+        if best is None:
+            return None  # no (schedule, microbatch) combination at this stage count
+        schedule, schedule_name, recompute, fits, combo_times = best
+        utilization: List[float] = []
+        for stage, inflight in zip(stages, schedule.peak_inflight):
+            peaks = stage.peak_device_memory(
+                schedule.num_microbatches,
+                schedule.num_model_chunks,
+                inflight,
+                schedule.recompute,
+            )
+            utilization.append(
+                max(
+                    peak / cap
+                    for peak, cap in zip(peaks, stage.subcluster.device_memory())
+                )
+            )
         return HierarchicalPlan(
             cluster=self.cluster,
             partition=partition,
@@ -271,14 +495,20 @@ class HierarchicalPlanner:
             num_microbatches=schedule.num_microbatches,
             estimated_time=schedule.total,
             schedule=schedule,
+            schedule_name=schedule_name,
+            num_model_chunks=schedule.num_model_chunks,
+            recompute=recompute,
+            fits_memory=fits,
+            peak_memory=list(schedule.peak_memory),
+            stage_memory_capacity=[float(s.subcluster.total_memory()) for s in stages],
+            stage_memory_utilization=utilization,
+            schedule_candidate_times=combo_times,
             batch_size=self.batch_size,
             microbatch_overhead=0.0 if cut.num_stages == 1 else self.config.microbatch_overhead,
         )
 
-    def _estimate_schedule(
-        self, partition: ClusterPartition, stages: Sequence[StagePlan]
-    ) -> ScheduleResult:
-        """Pipelined iteration-time estimate from the stage cost models."""
+    def _stage_times(self, stages: Sequence[StagePlan]) -> List[StageTimes]:
+        """Per-stage timing/memory inputs from the stage cost models."""
         times: List[StageTimes] = []
         for stage in stages:
             cost_model = CostModel(stage.plan.program.graph, stage.subcluster)
@@ -291,31 +521,115 @@ class HierarchicalPlanner:
                     backward=buckets["backward"],
                     sync=buckets["sync"],
                     send_bytes=float(stage.send_bytes),
+                    activation_bytes=float(stage.activation_bytes),
+                    weight_bytes=stage.weight_bytes_total(),
                 )
             )
+        return times
+
+    def _fits_memory(
+        self, stages: Sequence[StagePlan], result: ScheduleResult
+    ) -> bool:
+        """True when every device of every stage group fits its peak bytes."""
+        for stage, inflight in zip(stages, result.peak_inflight):
+            capacities = stage.subcluster.device_memory()
+            peaks = stage.peak_device_memory(
+                result.num_microbatches,
+                result.num_model_chunks,
+                inflight,
+                result.recompute,
+            )
+            if any(peak > cap for peak, cap in zip(peaks, capacities)):
+                return False
+        return True
+
+    def _search_schedules(
+        self,
+        partition: ClusterPartition,
+        stages: Sequence[StagePlan],
+        times: Sequence[StageTimes],
+    ) -> Optional[
+        Tuple[ScheduleResult, str, bool, bool, Dict[Tuple[int, str, int, bool], float]]
+    ]:
+        """Best (schedule, microbatch count, recompute) for fixed stages.
+
+        Combinations are ranked memory-feasible first, then by estimated
+        time; activation recomputation trades one extra forward per
+        microbatch for an O(1) activation stash, so it can never beat a
+        memory-feasible plain run — under the default ``"auto"`` policy the
+        recomputing variant is only simulated when plain stashing exceeds
+        device memory.  Returns ``None`` when no (schedule, microbatch)
+        combination exists for this stage count (e.g. an interleaved-only
+        search whose batch has no divisor that is a multiple of the stage
+        count) — the flat 1-stage candidate always exists.
+        """
+        network = partition.inter_group_network
+        num_stages = len(stages)
+        combo_times: Dict[Tuple[int, str, int, bool], float] = {}
         # A single stage is flat SPMD: the whole batch runs at once, so no
         # microbatching (and no per-microbatch overhead) applies.
-        flat = len(stages) == 1
-        return simulate_pipeline(
-            times,
-            num_microbatches=1 if flat else self.config.num_microbatches,
-            inter_group_bandwidth=partition.inter_group_network.bandwidth,
-            inter_group_latency=partition.inter_group_network.latency,
-            microbatch_overhead=0.0 if flat else self.config.microbatch_overhead,
-        )
+        if num_stages == 1:
+            combos: List[Tuple[str, int]] = [("gpipe", 1)]
+        else:
+            schedules = list(self.config.schedules or SCHEDULE_NAMES)
+            combos = [
+                (name, m)
+                for name in schedules
+                for m in self._microbatch_candidates(num_stages, name)
+            ]
+        if not combos:
+            return None
+        first_recompute = self.config.recompute == "always" and num_stages > 1
+        best: Optional[Tuple[Tuple[int, float, int], ScheduleResult, str, bool, bool]] = None
+        for order, (name, m) in enumerate(combos):
+            attempts = [first_recompute]
+            for rc in attempts:
+                result = simulate_pipeline(
+                    times,
+                    num_microbatches=m,
+                    inter_group_bandwidth=network.bandwidth,
+                    inter_group_latency=network.latency,
+                    microbatch_overhead=0.0
+                    if num_stages == 1
+                    else self.config.microbatch_overhead,
+                    schedule=name,
+                    num_model_chunks=self.config.num_model_chunks,
+                    recompute=rc,
+                )
+                fits = self._fits_memory(stages, result)
+                combo_times[(num_stages, name, m, rc)] = result.total
+                key = (0 if fits else 1, result.total, order)
+                if best is None or key < best[0]:
+                    best = (key, result, name, rc, fits)
+                if (
+                    not rc
+                    and not fits
+                    and self.config.recompute == "auto"
+                    and num_stages > 1
+                ):
+                    attempts.append(True)  # retry with recomputation
+        assert best is not None  # combos is non-empty
+        _, result, name, rc, fits = best
+        return result, name, rc, fits, combo_times
 
     # -- main entry point -----------------------------------------------------------
     def plan(self) -> HierarchicalPlan:
-        """Evaluate every stage-count candidate and return the cheapest plan."""
+        """Evaluate every candidate and return the cheapest feasible plan."""
         best: Optional[HierarchicalPlan] = None
         candidate_times: Dict[int, float] = {}
+        combo_times: Dict[Tuple[int, str, int, bool], float] = {}
         for num_stages in self._candidates():
             candidate = self.build_candidate(num_stages)
             if candidate is None:
                 continue
             candidate_times[num_stages] = candidate.estimated_time
-            if best is None or candidate.estimated_time < best.estimated_time:
+            combo_times.update(candidate.schedule_candidate_times)
+            if best is None or (
+                (not candidate.fits_memory, candidate.estimated_time)
+                < (not best.fits_memory, best.estimated_time)
+            ):
                 best = candidate
         assert best is not None  # num_stages == 1 always builds
         best.candidate_times = candidate_times
+        best.schedule_candidate_times = combo_times
         return best

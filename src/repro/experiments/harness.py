@@ -15,7 +15,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from ..autodiff import build_training_graph
-from ..baselines import BaselinePlan, estimate_memory_per_device, plan_baseline
+from ..baselines import BaselinePlan, plan_baseline
 from ..cluster.spec import ClusterSpec
 from ..core.config import PlannerConfig, SynthesisConfig
 from ..core.hierarchical import HierarchicalConfig, HierarchicalPlan
@@ -216,12 +216,22 @@ def compare_systems(
 
 
 def _hierarchical_out_of_memory(plan: HierarchicalPlan) -> bool:
-    """True if any pipeline stage exceeds its machine group's memory."""
-    for stage in plan.stages:
-        memory = estimate_memory_per_device(stage.program, stage.ratios, stage.subcluster)
-        if any(m > cap for m, cap in zip(memory, stage.subcluster.device_memory())):
-            return True
-    return False
+    """True if any pipeline stage exceeds its machine group's memory.
+
+    The hierarchical planner performs schedule-aware accounting (in-flight
+    microbatch activations plus resident parameter state, per device) for
+    every candidate and records the verdict on the plan; a plan flagged
+    infeasible means *no* (schedule, microbatch, recomputation) combination
+    fit, so the workload is reported as OOM like the flat baselines.
+
+    Note the model is deliberately stricter than the flat baselines'
+    :func:`~repro.baselines.planners.estimate_memory_per_device`, whose 0.25
+    activation discount approximates fusion/rematerialisation: pipeline
+    stages must genuinely stash in-flight activations until their backward,
+    so near the boundary a 1-stage pipeline plan can be flagged OOM where
+    the discounted flat estimate is not.
+    """
+    return not plan.fits_memory
 
 
 def format_comparison(comparison: ComparisonResult) -> str:

@@ -28,19 +28,24 @@ class BenchmarkScale:
     scale keeps the same structure (and therefore the same sharding decisions)
     but with fewer layers, so that planning and simulation finish quickly in
     CI; ``tiny`` is for unit tests that actually execute the graphs with numpy.
+
+    ``batch_per_device`` overrides the paper's per-GPU batch
+    (:data:`PER_DEVICE_BATCH`) when set; ``None`` keeps the per-model paper
+    default, so ``paper()``/``reduced()`` preserve e.g. BERT-MoE's smaller
+    per-device batch of 32.
     """
 
     name: str
     layer_fraction: float
-    batch_per_device: int
+    batch_per_device: Optional[int] = None
 
     @staticmethod
     def paper() -> "BenchmarkScale":
-        return BenchmarkScale("paper", layer_fraction=1.0, batch_per_device=64)
+        return BenchmarkScale("paper", layer_fraction=1.0)
 
     @staticmethod
     def reduced() -> "BenchmarkScale":
-        return BenchmarkScale("reduced", layer_fraction=0.25, batch_per_device=64)
+        return BenchmarkScale("reduced", layer_fraction=0.25)
 
 
 #: Per-GPU batch sizes used by the paper (Sec. 7.1).
@@ -88,7 +93,10 @@ def build_model(
         num_gpus: total number of GPUs participating in training; the global
             batch size is ``per_device_batch * num_gpus`` and the number of
             MoE experts is proportional to it.
-        scale: benchmark scale (paper-sized by default).
+        scale: benchmark scale (paper-sized by default); its
+            ``batch_per_device`` — when set — replaces the paper's per-GPU
+            batch, so reduced-scale and weak-scaling studies can actually
+            shrink the global batch.
         num_experts: override the MoE expert count (used by the Fig. 17
             uneven-experts study).
 
@@ -97,7 +105,12 @@ def build_model(
     """
     name = canonical_name(name)
     scale = scale or BenchmarkScale.paper()
-    batch = PER_DEVICE_BATCH[name] * num_gpus
+    per_device = (
+        scale.batch_per_device
+        if scale.batch_per_device is not None
+        else PER_DEVICE_BATCH[name]
+    )
+    batch = per_device * num_gpus
 
     if name == "vgg19":
         return build_vgg19(VGGConfig(batch_size=batch))

@@ -55,6 +55,7 @@ class SPMDExecutor:
         program: DistributedProgram,
         ratios: Sequence[float],
         batch_hint: Optional[int] = None,
+        batch_scale: int = 1,
     ) -> None:
         self.program = program
         self.graph: ComputationGraph = program.graph
@@ -68,6 +69,15 @@ class SPMDExecutor:
         #: activations) with flattened ``batch*seq`` activations and gradient
         #: seeds, so the batch cannot always be inferred from the graph alone.
         self._batch_hint = batch_hint
+        #: Microbatch execution: the program's node specs describe the *full*
+        #: mini-batch, but bindings arrive with every batch-derived leading
+        #: dimension divided by ``batch_scale``.  Placeholder shape checks
+        #: and shape-bearing attributes (reshape targets, conv input shapes,
+        #: broadcast targets) are rescaled accordingly; all operator kernels
+        #: already compute from the actual operand sizes.
+        if batch_scale < 1:
+            raise ValueError("batch_scale must be >= 1")
+        self._batch_scale = batch_scale
         self.ratios = self._snap_to_batch(list(ratios))
         # (ref, state) -> list of per-rank local arrays
         self._env: Dict[Tuple[str, DistState], List[np.ndarray]] = {}
@@ -169,6 +179,15 @@ class SPMDExecutor:
                 return np.concatenate(parts, axis=state.dim)
         return None
 
+    def gather(self, ref: str) -> Optional[np.ndarray]:
+        """Global value of any tensor produced by the most recent :meth:`run`.
+
+        Unlike :class:`SPMDResult` outputs this is not limited to the graph's
+        marked outputs; the hierarchical runtime uses it to harvest raw
+        per-parameter gradients for cross-microbatch accumulation.
+        """
+        return self._gather_ref(ref)
+
     # -- computation instructions -------------------------------------------------------
     def _run_comp(self, instr: CompInstruction, bindings: Mapping[str, np.ndarray]) -> None:
         if instr.op in ("placeholder", "parameter", "constant"):
@@ -180,25 +199,74 @@ class SPMDExecutor:
         inputs_per_rank = [
             self._lookup(prop) for prop in instr.inputs
         ]  # list over operands of list over ranks
+        batch_scaled = self._input_is_batch_scaled(instr, inputs_per_rank)
         for rank in range(self.world):
             args = [operand[rank] for operand in inputs_per_rank]
-            attrs = self._local_attrs(instr, node.attrs, args, rank)
+            attrs = self._local_attrs(instr, node.attrs, args, rank, batch_scaled)
             locals_per_rank.append(np.asarray(op.execute(args, attrs)))
         self._store(instr.output, locals_per_rank)
 
+    def _input_is_batch_scaled(
+        self, instr: CompInstruction, inputs_per_rank: Sequence[List[np.ndarray]]
+    ) -> bool:
+        """True when operand 0 runs at ``1/batch_scale`` of its spec size.
+
+        Microbatched execution shrinks batch-derived tensors but leaves
+        batch-independent ones (positional embeddings, parameters) at spec
+        size; comparing the operand's actual global numel against its spec is
+        exact evidence either way, unlike leading-dim divisibility.
+        """
+        if self._batch_scale == 1 or not inputs_per_rank:
+            return False
+        arrays = inputs_per_rank[0]
+        state = instr.inputs[0].state
+        global_numel = sum(a.size for a in arrays) if state.is_sharded else arrays[0].size
+        return global_numel * self._batch_scale == self.graph[instr.inputs[0].ref].spec.numel
+
+    def _scaled_shape(self, shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Shape with the batch-derived leading dimension divided by the scale.
+
+        Batch-derived leading dimensions are the batch or a ``batch*seq``
+        flattening — always a multiple of the full batch size, which is how
+        they are recognised when the batch hint is available (so a seq- or
+        hidden-sized leading dimension is never falsely rescaled).  Without a
+        hint, divisibility by the scale is the fallback guard.
+        """
+        scale = self._batch_scale
+        if scale == 1 or not shape:
+            return shape
+        full_batch = self._batch_hint * scale if self._batch_hint else None
+        if full_batch is not None:
+            if shape[0] % full_batch != 0:
+                return shape
+        elif shape[0] % scale != 0:
+            return shape
+        return (shape[0] // scale,) + tuple(shape[1:])
+
     def _run_source(self, instr: CompInstruction, bindings: Mapping[str, np.ndarray]) -> None:
         node = self.graph[instr.node]
+        expected = node.spec.shape
         if instr.op == "constant":
             value = np.broadcast_to(
-                np.asarray(node.attrs.get("value", 0.0), dtype=np.float32), node.spec.shape
+                np.asarray(node.attrs.get("value", 0.0), dtype=np.float32), expected
             ).astype(np.float32)
         else:
             if instr.node not in bindings:
                 raise GraphError(f"missing binding for {instr.op} {instr.node!r}")
             value = np.asarray(bindings[instr.node])
-            if tuple(value.shape) != node.spec.shape:
+            if instr.op == "placeholder" and self._batch_scale > 1:
+                # Microbatched bindings shrink in batch-derived dimensions —
+                # including MoE capacity dimensions that are not leading — so
+                # only the rank is checked; every kernel computes from the
+                # actual operand sizes.
+                if value.ndim != len(node.spec.shape):
+                    raise GraphError(
+                        f"binding for {instr.node!r} has rank {value.ndim}, "
+                        f"expected {len(node.spec.shape)}"
+                    )
+            elif tuple(value.shape) != expected:
                 raise GraphError(
-                    f"binding for {instr.node!r} has shape {value.shape}, expected {node.spec.shape}"
+                    f"binding for {instr.node!r} has shape {value.shape}, expected {expected}"
                 )
         state = instr.output.state
         if state.is_replicated:
@@ -215,12 +283,19 @@ class SPMDExecutor:
         attrs: Mapping[str, object],
         args: Sequence[np.ndarray],
         rank: int,
+        batch_scaled: bool = False,
     ) -> Dict[str, object]:
         """Adjust shape-bearing attributes for the rank-local operand sizes."""
         local = dict(attrs)
         out_state = instr.output.state
         if instr.op in ("reshape",) and out_state.is_sharded:
             shape = [int(d) for d in local["shape"]]
+            if batch_scaled and shape[0] % self._batch_scale == 0:
+                # Rescale the batch-derived leading dimension first, so a
+                # shard dimension other than 0 is not made to absorb the
+                # microbatch scaling.  Guarded by actual operand-size
+                # evidence, so batch-independent reshapes are never touched.
+                shape[0] //= self._batch_scale
             other = 1
             for i, d in enumerate(shape):
                 if i != out_state.dim:
@@ -228,15 +303,31 @@ class SPMDExecutor:
             local_numel = int(args[0].size)
             shape[out_state.dim] = max(local_numel // max(other, 1), 0)
             local["shape"] = tuple(shape)
+        elif instr.op in ("reshape",) and batch_scaled:
+            # Microbatched replicated reshape: the attribute's leading
+            # dimension carries the full-batch size; recover it from the
+            # actual operand numel.
+            shape = [int(d) for d in local["shape"]]
+            other = 1
+            for d in shape[1:]:
+                other *= d
+            shape[0] = max(int(args[0].size) // max(other, 1), 0)
+            local["shape"] = tuple(shape)
         elif instr.op == "broadcast_to" and out_state.is_sharded:
             raise GraphError("broadcast_to cannot produce a sharded tensor")
-        elif instr.op == "conv2d_grad_input" and out_state.is_sharded:
+        elif instr.op == "broadcast_to" and self._batch_scale > 1:
+            local["shape"] = self._scaled_shape(tuple(int(d) for d in local["shape"]))
+        elif instr.op == "conv2d_grad_input" and (
+            out_state.is_sharded or self._batch_scale > 1
+        ):
             shape = [int(d) for d in local["input_shape"]]
             shape[0] = int(args[0].shape[0])
             local["input_shape"] = tuple(shape)
         elif instr.op == "cross_entropy_grad":
             pass  # shapes follow the operands
-        elif instr.op == "moe_combine_grad" and out_state.is_sharded:
+        elif instr.op == "moe_combine_grad" and (
+            out_state.is_sharded or self._batch_scale > 1
+        ):
             # Local capacity must match the local forward dispatch: recompute
             # it from the local token count with the layer's capacity factor.
             gates = args[1]
@@ -250,14 +341,15 @@ class SPMDExecutor:
     def _run_comm(self, instr: CommInstruction) -> None:
         arrays = self._lookup(instr.input)
         kind = instr.kind
-        ref_spec = self.graph[instr.input.ref].spec
         if kind is CollectiveKind.ALL_REDUCE:
             out = functional.all_reduce(arrays)
         elif kind in (CollectiveKind.ALL_GATHER, CollectiveKind.ALL_GATHER_GROUPED):
             out = functional.all_gather(arrays, instr.input.state.dim)
         elif kind is CollectiveKind.REDUCE_SCATTER:
             dim = instr.output.state.dim
-            sizes = local_sizes(ref_spec.shape[dim], self.ratios)
+            # The actual operand size, not the spec's: under microbatched
+            # execution batch-derived dimensions run at 1/batch_scale.
+            sizes = local_sizes(arrays[0].shape[dim], self.ratios)
             out = functional.reduce_scatter(arrays, dim, sizes)
         elif kind is CollectiveKind.ALL_TO_ALL:
             out = self._run_all_to_all(instr, arrays)
@@ -352,16 +444,34 @@ class HierarchicalExecutor:
        downstream consumers, producing the stage's parameter updates and the
        gradients it sends upstream.
 
+    When the plan schedules ``m > 1`` microbatches (and the global batch is
+    divisible by ``m``), the mini-batch is split along the leading dimension
+    and both sweeps run once per microbatch — the emulation analogue of the
+    1F1B/GPipe interleaving, whose per-stage order only affects timing, not
+    numerics.  Per-parameter gradients are accumulated across microbatches
+    and the SGD update is applied exactly once per iteration, mirroring the
+    once-per-iteration gradient synchronisation of the simulated schedules.
+    Because the IR's loss reductions are sums over the batch, the summed
+    microbatch gradients and losses match the full-batch run bit-for-bit up
+    to floating-point reduction order.
+
     The re-execution of the forward part during the backward sweep is exactly
     activation recomputation (gradient checkpointing); with deterministic
     kernels the recomputed activations are identical, so the chained result
     matches single-device training up to floating-point reduction order.
     """
 
-    def __init__(self, plan) -> None:
+    def __init__(self, plan, num_microbatches: Optional[int] = None) -> None:
         self.plan = plan
+        m = plan.num_microbatches if num_microbatches is None else num_microbatches
+        batch = plan.batch_size
+        if m > 1 and (batch is None or batch % m != 0):
+            m = 1  # cannot split evenly: run the whole batch at once
+        self.num_microbatches = max(1, int(m))
+        scale = self.num_microbatches
+        hint = batch // scale if (batch is not None and scale > 1) else batch
         self.executors = [
-            SPMDExecutor(stage.program, stage.ratios, batch_hint=plan.batch_size)
+            SPMDExecutor(stage.program, stage.ratios, batch_hint=hint, batch_scale=scale)
             for stage in plan.stages
         ]
 
@@ -374,6 +484,7 @@ class HierarchicalExecutor:
     ) -> Dict[str, np.ndarray]:
         """Bindings for one stage run: data, params, activations, grad seeds."""
         info = stage.info
+        scale = self.num_microbatches
         seed_ref = {seed: ref for ref, seed in info.grad_input_of.items()}
         out: Dict[str, np.ndarray] = {}
         for node in info.graph:
@@ -385,7 +496,11 @@ class HierarchicalExecutor:
                 if grads is not None and ref in grads:
                     out[name] = grads[ref]
                 else:
-                    out[name] = np.zeros(node.spec.shape, dtype=np.float32)
+                    shape = list(node.spec.shape)
+                    batch = self.plan.batch_size
+                    if scale > 1 and shape and batch and shape[0] % batch == 0:
+                        shape[0] //= scale
+                    out[name] = np.zeros(tuple(shape), dtype=np.float32)
             elif name in activations:
                 out[name] = activations[name]
             elif name in bindings:
@@ -396,19 +511,39 @@ class HierarchicalExecutor:
                 )
         return out
 
-    def run(self, bindings: Mapping[str, np.ndarray]) -> HierarchicalResult:
-        """Execute one training iteration across all pipeline stages.
+    def _data_placeholders(self) -> set:
+        """Original-graph placeholders fed from user bindings (not handoffs)."""
+        seeds: set = set()
+        incoming: set = set()
+        for stage in self.plan.stages:
+            seeds.update(stage.info.grad_input_of.values())
+            incoming.update(stage.info.boundary_outputs)
+        names: set = set()
+        for stage in self.plan.stages:
+            for node in stage.info.graph:
+                if (
+                    node.op == "placeholder"
+                    and node.name not in seeds
+                    and node.name not in incoming
+                ):
+                    names.add(node.name)
+        return names
 
-        Args:
-            bindings: global values for every placeholder and parameter of
-                the *original* single-device graph (stage graphs reuse the
-                original node names, so one bindings dict serves all stages).
+    def _one_pass(
+        self,
+        bindings: Mapping[str, np.ndarray],
+        per_stage_bytes: List[List[int]],
+        collect_gradients: bool = True,
+    ):
+        """One forward+backward sweep over all stages for one (micro)batch.
+
+        Returns ``(loss, gradients, outputs)`` where ``gradients`` maps every
+        parameter to its gradient for this pass (empty unless
+        ``collect_gradients`` — reassembling every parameter gradient across
+        ranks is only worth paying for cross-microbatch accumulation).
         """
         stages = self.plan.stages
         activations: Dict[str, np.ndarray] = {}
-        # Forward sweep: produce the cut activations stage by stage.  The
-        # last stage is skipped — it exports nothing downstream and runs
-        # exactly once in the backward sweep.
         for stage, executor in zip(stages[:-1], self.executors[:-1]):
             result = executor.run(
                 self._stage_bindings(stage, bindings, activations, None),
@@ -418,34 +553,126 @@ class HierarchicalExecutor:
                 activations[ref] = result.outputs[ref]
 
         grads: Dict[str, np.ndarray] = {}
+        gradients: Dict[str, np.ndarray] = {}
         loss: Optional[float] = None
-        updated: Dict[str, np.ndarray] = {}
         outputs: Dict[str, np.ndarray] = {}
-        per_stage_bytes: List[List[int]] = [[] for _ in stages]
-        # Backward sweep: run with real gradient seeds, collect updates and
-        # propagate boundary gradients upstream (summing over consumers).
         for index in reversed(range(len(stages))):
             stage = stages[index]
-            result = self.executors[index].run(
+            executor = self.executors[index]
+            result = executor.run(
                 self._stage_bindings(stage, bindings, activations, grads)
             )
-            per_stage_bytes[index] = result.per_rank_bytes
+            if per_stage_bytes[index]:
+                per_stage_bytes[index] = [
+                    max(a, b) for a, b in zip(per_stage_bytes[index], result.per_rank_bytes)
+                ]
+            else:
+                per_stage_bytes[index] = list(result.per_rank_bytes)
             if stage.info.loss is not None:
                 loss = result.loss
-            for param, update_node in stage.info.updates.items():
-                updated[param] = result.outputs[update_node]
+            if collect_gradients:
+                for param, grad_node in stage.info.gradients.items():
+                    value = executor.gather(grad_node)
+                    if value is not None:
+                        gradients[param] = value
             for ref, grad_node in stage.info.grad_output_of.items():
                 contribution = result.outputs[grad_node]
                 grads[ref] = grads[ref] + contribution if ref in grads else contribution
             outputs.update(result.outputs)
+        return loss, gradients, outputs
+
+    def run(self, bindings: Mapping[str, np.ndarray]) -> HierarchicalResult:
+        """Execute one training iteration across all pipeline stages.
+
+        Args:
+            bindings: global values for every placeholder and parameter of
+                the *original* single-device graph (stage graphs reuse the
+                original node names, so one bindings dict serves all stages).
+        """
+        stages = self.plan.stages
+        m = self.num_microbatches
+        per_stage_bytes: List[List[int]] = [[] for _ in stages]
+        if m == 1:
+            loss, _gradients, outputs = self._one_pass(
+                bindings, per_stage_bytes, collect_gradients=False
+            )
+            # Whole-batch run: the graph's own sgd_update nodes computed the
+            # new parameters; no accumulation is needed.
+            updated = {
+                param: outputs[update_node]
+                for stage in stages
+                for param, update_node in stage.info.updates.items()
+            }
+            return HierarchicalResult(
+                loss=loss,
+                updated_parameters=updated,
+                outputs=outputs,
+                per_stage_rank_bytes=per_stage_bytes,
+            )
+
+        batch = self.plan.batch_size
+        micro = batch // m
+        data_names = self._data_placeholders()
+        grad_sums: Dict[str, np.ndarray] = {}
+        loss_total: Optional[float] = None
+        for j in range(m):
+            micro_bindings: Dict[str, np.ndarray] = {}
+            for name, value in bindings.items():
+                arr = np.asarray(value)
+                if name in data_names and arr.ndim > 0 and arr.shape[0] == batch:
+                    micro_bindings[name] = arr[j * micro : (j + 1) * micro]
+                else:
+                    micro_bindings[name] = arr
+            loss, gradients, _ = self._one_pass(micro_bindings, per_stage_bytes)
+            if loss is not None:
+                loss_total = loss if loss_total is None else loss_total + loss
+            for param, grad in gradients.items():
+                grad_sums[param] = (
+                    grad if param not in grad_sums else grad_sums[param] + grad
+                )
+        updated = self._apply_updates(bindings, grad_sums)
+        # Per-iteration outputs: the updated parameters under their
+        # update-node names (matching the whole-batch contract) and the loss.
+        # Raw per-microbatch activations/gradients are not reassembled.
+        outputs: Dict[str, np.ndarray] = {}
+        for stage in stages:
+            for param, update_node in stage.info.updates.items():
+                outputs[update_node] = updated[param]
+            if stage.info.loss is not None and loss_total is not None:
+                outputs[stage.info.loss] = np.asarray(loss_total, dtype=np.float32)
         return HierarchicalResult(
-            loss=loss,
+            loss=loss_total,
             updated_parameters=updated,
             outputs=outputs,
             per_stage_rank_bytes=per_stage_bytes,
         )
 
+    def _apply_updates(
+        self, bindings: Mapping[str, np.ndarray], gradients: Mapping[str, np.ndarray]
+    ) -> Dict[str, np.ndarray]:
+        """Once-per-iteration SGD step from the microbatch-accumulated gradients.
 
-def run_hierarchical_plan(plan, bindings: Mapping[str, np.ndarray]) -> HierarchicalResult:
+        The stage graphs' ``sgd_update`` nodes operate on a single pass's
+        gradient, so the cross-microbatch step must be applied here in closed
+        form (``param - lr * sum(grads)``).  The microbatch parity tests
+        compare this against the graph-executed single-device update every
+        run, so a drift in ``sgd_update`` semantics would fail loudly; the
+        ``lr`` attribute is read strictly for the same reason.
+        """
+        updated: Dict[str, np.ndarray] = {}
+        for stage in self.plan.stages:
+            for param, update_node in stage.info.updates.items():
+                lr = float(stage.info.graph[update_node].attrs["lr"])
+                base = np.asarray(bindings[param], dtype=np.float32)
+                grad = gradients.get(param)
+                updated[param] = base.copy() if grad is None else base - lr * grad
+        return updated
+
+
+def run_hierarchical_plan(
+    plan,
+    bindings: Mapping[str, np.ndarray],
+    num_microbatches: Optional[int] = None,
+) -> HierarchicalResult:
     """Execute a :class:`~repro.core.hierarchical.HierarchicalPlan` once."""
-    return HierarchicalExecutor(plan).run(bindings)
+    return HierarchicalExecutor(plan, num_microbatches=num_microbatches).run(bindings)

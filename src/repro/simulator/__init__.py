@@ -8,7 +8,17 @@ from .engine import (
     simulate_hierarchical,
     simulate_plan,
 )
-from .schedule import ScheduleResult, StageTimes, simulate_pipeline
+from .schedule import (
+    SCHEDULE_NAMES,
+    GPipeSchedule,
+    InterleavedOneFOneBSchedule,
+    OneFOneBSchedule,
+    PipelineSchedule,
+    ScheduleResult,
+    StageTimes,
+    get_schedule,
+    simulate_pipeline,
+)
 
 __all__ = [
     "ExecutionSimulator",
@@ -17,6 +27,12 @@ __all__ = [
     "simulate_plan",
     "HierarchicalSimulationResult",
     "simulate_hierarchical",
+    "SCHEDULE_NAMES",
+    "PipelineSchedule",
+    "GPipeSchedule",
+    "OneFOneBSchedule",
+    "InterleavedOneFOneBSchedule",
+    "get_schedule",
     "ScheduleResult",
     "StageTimes",
     "simulate_pipeline",

@@ -193,6 +193,8 @@ class ExecutionSimulator:
         ratios: Sequence[float],
         forward_nodes,
         send_bytes: float = 0.0,
+        activation_bytes: float = 0.0,
+        weight_bytes: float = 0.0,
     ) -> StageTimes:
         """Measured (overhead-rich, noise-free) pipeline profile of a program.
 
@@ -219,6 +221,8 @@ class ExecutionSimulator:
             backward=buckets["backward"],
             sync=buckets["sync"],
             send_bytes=send_bytes,
+            activation_bytes=activation_bytes,
+            weight_bytes=weight_bytes,
         )
 
 
@@ -254,11 +258,12 @@ def simulate_hierarchical(
     """Simulate a :class:`~repro.core.hierarchical.HierarchicalPlan`.
 
     Every stage program is profiled on its own machine group with the full
-    overhead model, the GPipe schedule combines the stages over the
-    partition's inter-group link, and the run-to-run noise the flat simulator
-    applies per stage is applied to the pipelined iteration total.  A 1-stage
-    plan reduces to the flat simulation of its single program (whole batch,
-    no transfers).
+    overhead model, the plan's pipeline schedule (GPipe, 1F1B or interleaved
+    1F1B, with the plan's microbatch count and recomputation choice) combines
+    the stages over the partition's inter-group link, and the run-to-run
+    noise the flat simulator applies per stage is applied to the pipelined
+    iteration total.  A 1-stage plan reduces to the flat simulation of its
+    single program (whole batch, no transfers).
     """
     overheads = overheads or OverheadModel()
     stage_times: List[StageTimes] = []
@@ -266,7 +271,12 @@ def simulate_hierarchical(
         sim = ExecutionSimulator(stage.subcluster, overheads=overheads, seed=seed)
         stage_times.append(
             sim.profile_program(
-                stage.program, stage.ratios, stage.forward_nodes, send_bytes=stage.send_bytes
+                stage.program,
+                stage.ratios,
+                stage.forward_nodes,
+                send_bytes=stage.send_bytes,
+                activation_bytes=float(stage.activation_bytes),
+                weight_bytes=stage.weight_bytes_total(),
             )
         )
     network = plan.partition.inter_group_network
@@ -276,6 +286,9 @@ def simulate_hierarchical(
         inter_group_bandwidth=network.bandwidth,
         inter_group_latency=network.latency,
         microbatch_overhead=plan.microbatch_overhead,
+        schedule=plan.schedule_name,
+        num_model_chunks=plan.num_model_chunks,
+        recompute=plan.recompute,
     )
     rng = np.random.default_rng(seed)
     samples = [

@@ -1,15 +1,37 @@
-"""Pipeline-schedule simulator: iteration time of pipelined SPMD stages.
+"""Pipeline-schedule subsystem: time *and* memory of pipelined SPMD stages.
 
 Flat HAP executes one SPMD program on the whole cluster; the hierarchical
 planner instead runs one SPMD program per machine group and pipelines
-microbatches through them.  This module computes the per-iteration time of
-such a plan with a discrete GPipe-style schedule: microbatch forwards fill the
-pipeline front to back, backwards drain it in reverse microbatch order
-(1F1B's steady state has the same per-stage work and the same drain critical
-path, so the fill/drain accounting below covers both), and each stage finally
-performs its once-per-iteration gradient synchronisation.  Bubble (idle ramp
-time), activation/gradient point-to-point transfers over the inter-group link
-and per-microbatch launch overheads are all modelled explicitly.
+microbatches through them.  This module simulates such an iteration for three
+schedules sharing one fill/steady/drain dependency engine:
+
+* ``gpipe`` — all microbatch forwards fill the pipeline front to back, all
+  backwards drain it in reverse microbatch order.  Simple, but every stage
+  stashes the activations of all ``m`` in-flight microbatches, so the
+  activation footprint grows linearly with the microbatch count.
+* ``1f1b`` — PipeDream-style one-forward-one-backward: stage ``i`` warms up
+  with ``min(s - 1 - i, m)`` forwards and then alternates one forward with
+  one backward, so at most ``min(s - i, m)`` microbatches are ever in flight.
+  On balanced stages with negligible transfers it matches GPipe's fill/drain
+  critical path exactly (with heavy transfers or skewed stages the strict
+  alternation can serialise slightly differently, in either direction); its
+  real win is that the activation footprint is bounded by the pipeline depth
+  ``s`` instead of ``m`` — which is what makes large microbatch counts
+  feasible at all.
+* ``interleaved-1f1b`` — Megatron-LM's interleaved schedule: each stage hosts
+  ``v`` model chunks of ``1/v`` of its work, shrinking the warm-up bubble by
+  roughly ``v`` at the price of ``v`` times more boundary crossings.  The
+  warm-up depth follows Megatron's ``2*(s - i - 1) + (v - 1)*s`` formula
+  (the in-flight peak is one more).  The per-chunk boundary bytes
+  are approximated by the adjacent physical cut (wrap-around hops use the
+  mean interior boundary), since the planner only cuts the model ``s`` ways.
+
+Every schedule reports per-stage **peak memory**: the maximum number of
+concurrently stashed microbatches observed during the dependency simulation,
+times the per-microbatch activation bytes, plus the stage's resident
+weight/optimizer-state bytes.  An optional activation-recomputation mode
+re-runs the forward before each backward (one extra forward per microbatch),
+shrinking the per-microbatch stash to the stage's boundary input.
 
 This module is deliberately free of imports from the rest of the package: it
 consumes plain per-stage timings (:class:`StageTimes`) that either the cost
@@ -20,12 +42,12 @@ produce, so the planner and the simulator share one schedule implementation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 
 @dataclass(frozen=True)
 class StageTimes:
-    """Timing inputs of one pipeline stage, for the *full* mini-batch.
+    """Timing and memory inputs of one pipeline stage, for the *full* mini-batch.
 
     Attributes:
         forward: forward time of the stage program for the whole mini-batch
@@ -36,12 +58,19 @@ class StageTimes:
         send_bytes: activation bytes this stage sends to the next stage for
             the whole mini-batch (the backward pass returns gradients of the
             same size).
+        activation_bytes: forward activation bytes the stage must stash for
+            its backward pass, for the whole mini-batch (each in-flight
+            microbatch holds ``1/num_microbatches`` of this).
+        weight_bytes: resident parameter + gradient + optimizer-state bytes
+            of the stage, independent of the schedule.
     """
 
     forward: float
     backward: float
     sync: float = 0.0
     send_bytes: float = 0.0
+    activation_bytes: float = 0.0
+    weight_bytes: float = 0.0
 
     @property
     def total(self) -> float:
@@ -55,6 +84,7 @@ class ScheduleResult:
     Attributes:
         total: per-iteration wall-clock time.
         num_microbatches: microbatch count the schedule ran with.
+        schedule: name of the schedule that produced this result.
         stage_finish: per-stage time at which the stage (including its
             gradient sync) finished.
         stage_busy: per-stage busy seconds (compute + sync, excluding idle).
@@ -62,15 +92,335 @@ class ScheduleResult:
         bubble_fraction: ``bubble / total`` (0 for a single stage).
         transfer: total activation+gradient transfer seconds on the critical
             path accounting (sum over boundaries and microbatches).
+        peak_inflight: per-stage maximum number of microbatches whose
+            activations (or boundary stashes under recomputation) were alive
+            at once during the simulated iteration.
+        peak_memory: per-stage peak bytes — ``weight_bytes`` plus the
+            activation stash at the in-flight peak (see module docstring).
+        recompute: whether activation recomputation was modelled.
+        num_model_chunks: model chunks per stage (1 unless interleaved).
     """
 
     total: float
     num_microbatches: int
+    schedule: str = "gpipe"
     stage_finish: List[float] = field(default_factory=list)
     stage_busy: List[float] = field(default_factory=list)
     bubble: float = 0.0
     bubble_fraction: float = 0.0
     transfer: float = 0.0
+    peak_inflight: List[int] = field(default_factory=list)
+    peak_memory: List[float] = field(default_factory=list)
+    recompute: bool = False
+    num_model_chunks: int = 1
+
+
+#: A task is (kind, chunk, microbatch); kind is "F" or "B".
+_Task = Tuple[str, int, int]
+
+
+def peak_stage_memory(
+    weight_bytes: float,
+    activation_bytes: float,
+    recv_bytes: float,
+    inflight: int,
+    num_microbatches: int,
+    num_chunks: int,
+    recompute: bool,
+) -> float:
+    """Peak resident bytes of one stage under a schedule's in-flight count.
+
+    The single source of truth for the memory model: resident weight state
+    plus the activation stash at the in-flight peak.  Without recomputation
+    every in-flight microbatch holds one chunk's activations
+    (``activation_bytes / (m * v)``); with recomputation only the boundary
+    input (``recv_bytes / m``) stays per in-flight microbatch, plus one
+    chunk's activations being rematerialised during its backward.  The
+    planner calls this per device with ratio-weighted byte counts; the
+    schedule simulator calls it with group aggregates.
+    """
+    m = max(1, num_microbatches)
+    v = max(1, num_chunks)
+    act_task = activation_bytes / (m * v)
+    if recompute:
+        return weight_bytes + inflight * (recv_bytes / m) + act_task
+    return weight_bytes + inflight * act_task
+
+
+def _validate_inputs(
+    stages: Sequence[StageTimes], num_microbatches: int, inter_group_bandwidth: float
+) -> None:
+    if num_microbatches < 1:
+        raise ValueError("num_microbatches must be >= 1")
+    if not stages:
+        raise ValueError("stages must be non-empty")
+    if len(stages) > 1 and inter_group_bandwidth <= 0:
+        raise ValueError(
+            "inter_group_bandwidth must be > 0 for multi-stage pipelines "
+            f"(got {inter_group_bandwidth!r}); activations cannot cross a "
+            "zero-bandwidth inter-group link"
+        )
+
+
+class PipelineSchedule:
+    """Base class: one microbatch schedule over ``s`` pipeline stages.
+
+    Subclasses provide :meth:`task_orders` — for every physical stage, the
+    sequence of per-microbatch forward/backward tasks in execution order —
+    and the shared dependency engine in :meth:`simulate` computes start and
+    finish times, transfer load, bubble and peak memory from it.
+    """
+
+    name: str = "abstract"
+    num_model_chunks: int = 1
+
+    # -- schedule-specific pieces -------------------------------------------------
+    def task_orders(
+        self, num_stages: int, num_microbatches: int, num_chunks: int
+    ) -> List[List[_Task]]:
+        raise NotImplementedError
+
+    def validate(self, num_stages: int, num_microbatches: int) -> None:
+        """Reject (s, m) combinations the schedule cannot run."""
+
+    # -- shared dependency engine -------------------------------------------------
+    def simulate(
+        self,
+        stages: Sequence[StageTimes],
+        num_microbatches: int,
+        inter_group_bandwidth: float,
+        inter_group_latency: float = 0.0,
+        microbatch_overhead: float = 0.0,
+        recompute: bool = False,
+    ) -> ScheduleResult:
+        """Simulate one pipelined iteration over the given stages.
+
+        Per-microbatch (and per-chunk) forward/backward times are the
+        full-batch times divided by ``num_microbatches * num_model_chunks``
+        plus a fixed ``microbatch_overhead`` (kernel-launch / scheduling cost
+        that does not shrink with the microbatch).  A transfer of
+        ``send_bytes / num_microbatches`` over the inter-group link separates
+        adjacent stages in both directions.  With one stage and one
+        microbatch the schedule degenerates to ``forward + backward + sync``
+        — the flat SPMD time.
+        """
+        _validate_inputs(stages, num_microbatches, inter_group_bandwidth)
+        s = len(stages)
+        m = num_microbatches
+        v = self.num_model_chunks if s > 1 else 1
+        self.validate(s, m)
+        total_virtual = s * v
+
+        fwd = [st.forward / (m * v) + microbatch_overhead for st in stages]
+        bwd = [st.backward / (m * v) + microbatch_overhead for st in stages]
+        if recompute:
+            # Gradient checkpointing: re-run the chunk forward before each
+            # backward so only the boundary input has to stay resident.
+            bwd = [b + f for b, f in zip(bwd, fwd)]
+
+        # Per-microbatch transfer time after virtual stage k (k -> k+1).  The
+        # interior hop (physical i -> i+1) carries the i-th cut's bytes; the
+        # interleaved wrap hop (physical s-1 -> 0, next chunk) is approximated
+        # with the mean interior boundary.
+        interior = [st.send_bytes for st in stages[:-1]]
+        wrap_bytes = (sum(interior) / len(interior)) if interior else 0.0
+        xfer: List[float] = []
+        for k in range(total_virtual - 1):
+            i = k % s
+            nbytes = interior[i] if i < s - 1 else wrap_bytes
+            xfer.append(inter_group_latency + (nbytes / m) / inter_group_bandwidth)
+
+        orders = self.task_orders(s, m, v)
+        finish_f: Dict[Tuple[int, int], float] = {}
+        finish_b: Dict[Tuple[int, int], float] = {}
+        heads = [0] * s
+        busy = [0.0] * s
+        inflight = [0] * s
+        peak_inflight = [1 if m > 0 else 0 for _ in range(s)]
+        remaining = sum(len(o) for o in orders)
+
+        def _ready_time(phys: int, task: _Task) -> Optional[float]:
+            kind, chunk, j = task
+            k = chunk * s + phys
+            if kind == "F":
+                if k == 0:
+                    return 0.0
+                dep = finish_f.get((k - 1, j))
+                return None if dep is None else dep + xfer[k - 1]
+            own = finish_f.get((k, j))
+            if own is None:
+                return None
+            if k == total_virtual - 1:
+                return own
+            dep = finish_b.get((k + 1, j))
+            return None if dep is None else max(own, dep + xfer[k])
+
+        while remaining:
+            best: Optional[Tuple[float, int, _Task]] = None
+            for i in range(s):
+                if heads[i] >= len(orders[i]):
+                    continue
+                task = orders[i][heads[i]]
+                ready = _ready_time(i, task)
+                if ready is None:
+                    continue
+                start = max(ready, busy[i])
+                if best is None or start < best[0]:
+                    best = (start, i, task)
+            if best is None:  # pragma: no cover - defensive (orders are valid)
+                raise RuntimeError(
+                    f"pipeline schedule {self.name!r} deadlocked with "
+                    f"{remaining} tasks left (s={s}, m={m}, v={v})"
+                )
+            start, i, (kind, chunk, j) = best
+            k = chunk * s + i
+            if kind == "F":
+                end = start + fwd[i]
+                finish_f[(k, j)] = end
+                inflight[i] += 1
+                peak_inflight[i] = max(peak_inflight[i], inflight[i])
+            else:
+                end = start + bwd[i]
+                finish_b[(k, j)] = end
+                inflight[i] -= 1
+            busy[i] = end
+            heads[i] += 1
+            remaining -= 1
+
+        stage_finish = [busy[i] + stages[i].sync for i in range(s)]
+        total = max(stage_finish)
+        stage_busy = [m * v * (fwd[i] + bwd[i]) + stages[i].sync for i in range(s)]
+        bubble = sum(max(total - b, 0.0) for b in stage_busy) / s
+        transfer = 2.0 * m * sum(xfer) if s > 1 else 0.0
+
+        peak_memory = [
+            peak_stage_memory(
+                weight_bytes=st.weight_bytes,
+                activation_bytes=st.activation_bytes,
+                recv_bytes=stages[i - 1].send_bytes if i > 0 else 0.0,
+                inflight=peak_inflight[i],
+                num_microbatches=m,
+                num_chunks=v,
+                recompute=recompute,
+            )
+            for i, st in enumerate(stages)
+        ]
+
+        return ScheduleResult(
+            total=total,
+            num_microbatches=m,
+            schedule=self.name,
+            stage_finish=stage_finish,
+            stage_busy=stage_busy,
+            bubble=bubble,
+            bubble_fraction=bubble / total if total > 0 else 0.0,
+            transfer=transfer,
+            peak_inflight=peak_inflight,
+            peak_memory=peak_memory,
+            recompute=recompute,
+            num_model_chunks=v,
+        )
+
+
+class GPipeSchedule(PipelineSchedule):
+    """GPipe: fill with all forwards, drain with all backwards (reversed)."""
+
+    name = "gpipe"
+
+    def task_orders(self, s: int, m: int, v: int) -> List[List[_Task]]:
+        return [
+            [("F", 0, j) for j in range(m)] + [("B", 0, j) for j in reversed(range(m))]
+            for _ in range(s)
+        ]
+
+
+class OneFOneBSchedule(PipelineSchedule):
+    """PipeDream-flush / Megatron 1F1B: bounded-depth steady state."""
+
+    name = "1f1b"
+
+    def task_orders(self, s: int, m: int, v: int) -> List[List[_Task]]:
+        orders: List[List[_Task]] = []
+        for i in range(s):
+            warmup = min(s - 1 - i, m)
+            order: List[_Task] = [("F", 0, j) for j in range(warmup)]
+            for j in range(m - warmup):
+                order.append(("F", 0, warmup + j))
+                order.append(("B", 0, j))
+            order.extend(("B", 0, j) for j in range(m - warmup, m))
+            orders.append(order)
+        return orders
+
+
+class InterleavedOneFOneBSchedule(PipelineSchedule):
+    """Megatron-LM interleaved 1F1B over ``num_model_chunks`` chunks per stage.
+
+    Requires ``num_microbatches`` to be a multiple of the stage count (the
+    same restriction as Megatron-LM); the planner snaps its candidates
+    accordingly.  Task enumeration follows Megatron's ``schedules.py``:
+    forwards advance in groups of ``s`` microbatches chunk by chunk, the
+    warm-up depth of stage ``i`` is ``2*(s - i - 1) + (v - 1)*s``, and
+    backwards mirror the forwards with the chunk order reversed.
+    """
+
+    name = "interleaved-1f1b"
+
+    def __init__(self, num_model_chunks: int = 2) -> None:
+        if num_model_chunks < 1:
+            raise ValueError("num_model_chunks must be >= 1")
+        self.num_model_chunks = num_model_chunks
+
+    def validate(self, s: int, m: int) -> None:
+        if s > 1 and m % s != 0:
+            raise ValueError(
+                f"interleaved-1f1b needs num_microbatches divisible by the "
+                f"stage count (got m={m}, s={s})"
+            )
+
+    def _enumerate(self, s: int, m: int, v: int, forward: bool) -> List[Tuple[int, int]]:
+        """(chunk, microbatch) pairs in Megatron execution order."""
+        pairs: List[Tuple[int, int]] = []
+        group = 0
+        while group * s < m:
+            width = min(s, m - group * s)
+            chunks = range(v) if forward else reversed(range(v))
+            for c in chunks:
+                for slot in range(width):
+                    pairs.append((c, group * s + slot))
+            group += 1
+        return pairs
+
+    def task_orders(self, s: int, m: int, v: int) -> List[List[_Task]]:
+        orders: List[List[_Task]] = []
+        for i in range(s):
+            fs = self._enumerate(s, m, v, forward=True)
+            bs = self._enumerate(s, m, v, forward=False)
+            warmup = min(2 * (s - i - 1) + (v - 1) * s, len(fs))
+            order: List[_Task] = [("F", c, j) for c, j in fs[:warmup]]
+            steady = len(fs) - warmup
+            for n in range(steady):
+                c, j = fs[warmup + n]
+                order.append(("F", c, j))
+                bc, bj = bs[n]
+                order.append(("B", bc, bj))
+            order.extend(("B", c, j) for c, j in bs[steady:])
+            orders.append(order)
+        return orders
+
+
+#: Registry of the schedules the planner searches over.
+SCHEDULE_NAMES = ["gpipe", "1f1b", "interleaved-1f1b"]
+
+
+def get_schedule(name: str, num_model_chunks: int = 2) -> PipelineSchedule:
+    """Look up a schedule implementation by name."""
+    if name == "gpipe":
+        return GPipeSchedule()
+    if name == "1f1b":
+        return OneFOneBSchedule()
+    if name == "interleaved-1f1b":
+        return InterleavedOneFOneBSchedule(num_model_chunks=num_model_chunks)
+    raise KeyError(f"unknown pipeline schedule {name!r}; known: {SCHEDULE_NAMES}")
 
 
 def simulate_pipeline(
@@ -79,71 +429,36 @@ def simulate_pipeline(
     inter_group_bandwidth: float,
     inter_group_latency: float = 0.0,
     microbatch_overhead: float = 0.0,
+    schedule: Union[str, PipelineSchedule] = "gpipe",
+    num_model_chunks: int = 1,
+    recompute: bool = False,
 ) -> ScheduleResult:
-    """Simulate one GPipe iteration over the given stages.
+    """Simulate one pipelined iteration (GPipe by default, for compatibility).
 
-    Per-microbatch forward/backward times are the full-batch times divided by
-    ``num_microbatches`` plus a fixed ``microbatch_overhead`` (kernel-launch /
-    scheduling cost that does not shrink with the microbatch).  A transfer of
-    ``send_bytes / num_microbatches`` over the inter-group link separates
-    adjacent stages in both directions.  With one stage the schedule
-    degenerates to ``forward + backward + sync`` — the flat SPMD time.
+    Args:
+        stages: per-stage full-batch timings and memory inputs.
+        num_microbatches: microbatches per iteration.
+        inter_group_bandwidth: point-to-point bytes/s between adjacent stages;
+            must be positive when there is more than one stage.
+        inter_group_latency: per-transfer latency in seconds.
+        microbatch_overhead: fixed per-microbatch (per-chunk) launch cost.
+        schedule: schedule name (see :data:`SCHEDULE_NAMES`) or instance.
+        num_model_chunks: chunks per stage for ``interleaved-1f1b``.
+        recompute: model activation recomputation (one extra forward per
+            microbatch, O(1) activation stash per in-flight microbatch).
 
     Returns:
         The :class:`ScheduleResult`; ``total`` is the iteration time.
     """
-    if num_microbatches < 1:
-        raise ValueError("num_microbatches must be >= 1")
-    if not stages:
-        raise ValueError("stages must be non-empty")
-    s = len(stages)
-    m = num_microbatches
-    fwd = [st.forward / m + microbatch_overhead for st in stages]
-    bwd = [st.backward / m + microbatch_overhead for st in stages]
-    # Per-microbatch transfer time from stage i to stage i+1 (and back).
-    xfer = [
-        0.0
-        if i == s - 1
-        else inter_group_latency + (stages[i].send_bytes / m) / inter_group_bandwidth
-        for i in range(s)
-    ]
-
-    # Forward fill: stage i starts microbatch j when its previous microbatch
-    # is done and the activation from stage i-1 has arrived.
-    finish_f = [[0.0] * m for _ in range(s)]
-    busy_until = [0.0] * s
-    for j in range(m):
-        for i in range(s):
-            ready = finish_f[i - 1][j] + xfer[i - 1] if i > 0 else 0.0
-            start = max(ready, busy_until[i])
-            finish_f[i][j] = start + fwd[i]
-            busy_until[i] = finish_f[i][j]
-
-    # Backward drain in reverse microbatch order: stage i starts microbatch j
-    # when the gradient from stage i+1 has arrived (last stage: when its own
-    # forward is done).
-    finish_b = [[0.0] * m for _ in range(s)]
-    for j in reversed(range(m)):
-        for i in reversed(range(s)):
-            if i == s - 1:
-                ready = finish_f[i][j]
-            else:
-                ready = finish_b[i + 1][j] + xfer[i]
-            start = max(ready, busy_until[i])
-            finish_b[i][j] = start + bwd[i]
-            busy_until[i] = finish_b[i][j]
-
-    stage_finish = [busy_until[i] + stages[i].sync for i in range(s)]
-    total = max(stage_finish)
-    stage_busy = [m * (fwd[i] + bwd[i]) + stages[i].sync for i in range(s)]
-    bubble = sum(max(total - b, 0.0) for b in stage_busy) / s
-    transfer = 2.0 * m * sum(xfer[:-1]) if s > 1 else 0.0
-    return ScheduleResult(
-        total=total,
-        num_microbatches=m,
-        stage_finish=stage_finish,
-        stage_busy=stage_busy,
-        bubble=bubble,
-        bubble_fraction=bubble / total if total > 0 else 0.0,
-        transfer=transfer,
+    if isinstance(schedule, PipelineSchedule):
+        impl = schedule
+    else:
+        impl = get_schedule(schedule, num_model_chunks=max(1, num_model_chunks))
+    return impl.simulate(
+        stages,
+        num_microbatches,
+        inter_group_bandwidth,
+        inter_group_latency=inter_group_latency,
+        microbatch_overhead=microbatch_overhead,
+        recompute=recompute,
     )

@@ -97,6 +97,25 @@ class TestClusterSpec:
         assert cluster.total_flops() == pytest.approx(sum(cluster.device_flops()))
         assert cluster.total_memory() == sum(cluster.device_memory())
 
+    def test_memory_reserve_fraction_shrinks_capacity(self):
+        from repro.cluster import ClusterSpec
+
+        full = homogeneous_testbed(16)
+        reserved = ClusterSpec(
+            full.machines,
+            network=full.network,
+            group_by_machine=full.group_by_machine,
+            memory_reserve_fraction=0.25,
+        )
+        assert reserved.device_memory() == [int(m * 0.75) for m in full.device_memory()]
+        assert reserved.total_memory() == sum(reserved.device_memory())
+        # Propagates through subsets and pipeline partitions.
+        assert reserved.subset(1).memory_reserve_fraction == 0.25
+        partition = reserved.partition(2)
+        assert all(g.memory_reserve_fraction == 0.25 for g in partition.groups)
+        with pytest.raises(ValueError):
+            ClusterSpec(full.machines, memory_reserve_fraction=1.5)
+
     def test_default_network_matches_paper(self):
         net = NetworkSpec()
         assert net.bandwidth == pytest.approx(10.4e9 / 8)

@@ -12,7 +12,13 @@ import numpy as np
 import pytest
 
 from repro.autodiff import GRAD_SEED_SUFFIX, build_stage_training_graph, build_training_graph
-from repro.cluster import NetworkSpec, Subcluster, heterogeneous_testbed, homogeneous_testbed
+from repro.cluster import (
+    ClusterSpec,
+    NetworkSpec,
+    Subcluster,
+    heterogeneous_testbed,
+    homogeneous_testbed,
+)
 from repro.core import (
     HierarchicalConfig,
     HierarchicalPlanner,
@@ -199,6 +205,24 @@ class TestStageTrainingGraphs:
         with pytest.raises(GraphError):
             build_stage_training_graph(fwd0, boundary_inputs=(), boundary_outputs=())
 
+    def test_stage_attrs_are_deep_copied(self):
+        # Regression: stage_forward_graph used to shallow-copy node attrs, so
+        # a mutable attr value (shape list, nested dict) was shared between
+        # the forward graph and every stage graph — mutating one stage's
+        # attrs corrupted all the others.
+        forward = build_tiny_transformer()
+        reshape = next(n for n in forward if n.op == "reshape")
+        # Make the attr value mutable, as traced graphs may carry.
+        reshape.attrs["shape"] = list(reshape.attrs["shape"])
+        original = list(reshape.attrs["shape"])
+        cut = pipeline_cut(forward, [1.0, 1.0])
+        stage_idx = cut.stage_of[reshape.name]
+        mutated_stage = stage_forward_graph(forward, cut, stage_idx)
+        other_stage = stage_forward_graph(forward, cut, stage_idx)
+        mutated_stage[reshape.name].attrs["shape"][0] = -12345
+        assert forward[reshape.name].attrs["shape"] == original
+        assert other_stage[reshape.name].attrs["shape"] == original
+
 
 # ---------------------------------------------------------------------------
 # GPipe schedule simulator
@@ -251,6 +275,148 @@ class TestScheduleSimulator:
         with pytest.raises(ValueError):
             simulate_pipeline([StageTimes(1.0, 1.0)], 0, inter_group_bandwidth=1.0)
 
+    def test_zero_bandwidth_rejected_for_multi_stage(self):
+        stages = [StageTimes(1.0, 2.0, send_bytes=1.0), StageTimes(1.0, 2.0)]
+        with pytest.raises(ValueError, match="inter_group_bandwidth"):
+            simulate_pipeline(stages, 4, inter_group_bandwidth=0.0)
+        with pytest.raises(ValueError, match="inter_group_bandwidth"):
+            simulate_pipeline(stages, 4, inter_group_bandwidth=-1.0)
+        # A single stage has no transfers, so any bandwidth value is fine.
+        result = simulate_pipeline([StageTimes(1.0, 2.0)], 1, inter_group_bandwidth=0.0)
+        assert result.total == pytest.approx(3.0)
+
+
+# ---------------------------------------------------------------------------
+# 1F1B / interleaved schedules and memory accounting
+# ---------------------------------------------------------------------------
+
+class TestOneFOneBSchedule:
+    def two_stage_inputs(self):
+        # Per-microbatch (m=4): forward 1s, backward 2s on both stages, 0.5s
+        # transfer per hop; syncs of 3s and 1s; activations of 8/4 bytes
+        # full-batch (2/1 bytes per in-flight microbatch), 1 byte of weights.
+        return [
+            StageTimes(
+                forward=4.0, backward=8.0, sync=3.0, send_bytes=2.0,
+                activation_bytes=8.0, weight_bytes=1.0,
+            ),
+            StageTimes(
+                forward=4.0, backward=8.0, sync=1.0,
+                activation_bytes=4.0, weight_bytes=1.0,
+            ),
+        ]
+
+    def test_hand_computed_two_stage_four_microbatch_example(self):
+        # Stage 0 order: F0 F1 B0 F2 B1 F3 B2 B3; stage 1: F0 B0 F1 B1 ...
+        # F0s0 0-1, F0s1 1.5-2.5, B0s1 2.5-4.5, F1s1 4.5-5.5, B0s0 5-7,
+        # B1s1 5.5-7.5, F2s0 7-8, B1s0 8-10, F2s1 8.5-9.5, B2s1 9.5-11.5,
+        # F3s0 10-11, B2s0 12-14, F3s1 11.5-12.5, B3s1 12.5-14.5,
+        # B3s0 15-17.  Finish: stage0 17+3=20, stage1 14.5+1=15.5.
+        result = simulate_pipeline(
+            self.two_stage_inputs(), 4, inter_group_bandwidth=1.0, schedule="1f1b"
+        )
+        assert result.total == pytest.approx(20.0)
+        assert result.stage_finish == pytest.approx([20.0, 15.5])
+        assert result.stage_busy == pytest.approx([15.0, 13.0])
+        assert result.bubble == pytest.approx(((20 - 15) + (20 - 13)) / 2)
+        assert result.transfer == pytest.approx(4.0)  # 2 dirs x 4 mb x 0.5
+        # Peak in-flight: min(s - i, m) -> [2, 1]; peak memory adds the
+        # stage's weight bytes to inflight x per-microbatch activations.
+        assert result.peak_inflight == [2, 1]
+        assert result.peak_memory == pytest.approx([1.0 + 2 * 2.0, 1.0 + 1 * 1.0])
+
+    def test_gpipe_peak_memory_grows_with_microbatches(self):
+        result = simulate_pipeline(self.two_stage_inputs(), 4, inter_group_bandwidth=1.0)
+        assert result.peak_inflight == [4, 4]
+        assert result.peak_memory == pytest.approx([1.0 + 8.0, 1.0 + 4.0])
+
+    def test_1f1b_matches_gpipe_time_on_balanced_stages(self):
+        # With balanced stages and negligible transfers GPipe and 1F1B have
+        # the same fill/drain critical path; 1F1B's win is memory.  (With
+        # transfers or unbalanced stages the strict alternation can serialise
+        # differently, so the time property is asserted where it is exact.)
+        import random
+
+        rng = random.Random(0)
+        for _ in range(50):
+            s = rng.randint(2, 5)
+            m = rng.randint(s + 1, 24)
+            f, b, sync = rng.uniform(0.3, 4), rng.uniform(0.3, 6), rng.uniform(0, 2)
+            stages = [
+                StageTimes(forward=f, backward=b, sync=sync, activation_bytes=10.0)
+                for _ in range(s)
+            ]
+            gpipe = simulate_pipeline(stages, m, inter_group_bandwidth=1.0)
+            ofob = simulate_pipeline(stages, m, inter_group_bandwidth=1.0, schedule="1f1b")
+            assert ofob.total <= gpipe.total * (1 + 1e-9)
+
+    def test_1f1b_peak_memory_below_gpipe_for_many_microbatches(self):
+        import random
+
+        rng = random.Random(1)
+        for _ in range(50):
+            s = rng.randint(2, 5)
+            m = rng.randint(s + 1, 32)
+            stages = [
+                StageTimes(
+                    forward=rng.uniform(0.3, 4),
+                    backward=rng.uniform(0.3, 6),
+                    sync=rng.uniform(0, 2),
+                    send_bytes=rng.uniform(0, 5),
+                    activation_bytes=rng.uniform(1, 100),
+                    weight_bytes=rng.uniform(0, 10),
+                )
+                for _ in range(s)
+            ]
+            gpipe = simulate_pipeline(stages, m, inter_group_bandwidth=1.0)
+            ofob = simulate_pipeline(stages, m, inter_group_bandwidth=1.0, schedule="1f1b")
+            assert all(o < g for o, g in zip(ofob.peak_memory, gpipe.peak_memory))
+            assert all(i <= min(s - idx, m) for idx, i in enumerate(ofob.peak_inflight))
+
+    def test_interleaved_shrinks_bubble(self):
+        stages = [
+            StageTimes(forward=2.0, backward=4.0, activation_bytes=10.0),
+            StageTimes(forward=2.0, backward=4.0, activation_bytes=10.0),
+        ]
+        ofob = simulate_pipeline(stages, 8, inter_group_bandwidth=1e9, schedule="1f1b")
+        inter = simulate_pipeline(
+            stages, 8, inter_group_bandwidth=1e9,
+            schedule="interleaved-1f1b", num_model_chunks=2,
+        )
+        assert inter.total < ofob.total
+        assert inter.bubble_fraction < ofob.bubble_fraction
+        assert inter.num_model_chunks == 2
+
+    def test_interleaved_requires_multiple_of_stage_count(self):
+        stages = [StageTimes(1.0, 2.0, send_bytes=1.0), StageTimes(1.0, 2.0)]
+        with pytest.raises(ValueError, match="divisible"):
+            simulate_pipeline(stages, 3, inter_group_bandwidth=1.0, schedule="interleaved-1f1b")
+
+    def test_recomputation_trades_time_for_memory(self):
+        stages = [
+            StageTimes(forward=2.0, backward=4.0, send_bytes=0.5, activation_bytes=64.0),
+            StageTimes(forward=2.0, backward=4.0, activation_bytes=64.0),
+        ]
+        plain = simulate_pipeline(stages, 8, inter_group_bandwidth=1e9, schedule="1f1b")
+        rc = simulate_pipeline(
+            stages, 8, inter_group_bandwidth=1e9, schedule="1f1b", recompute=True
+        )
+        assert rc.total > plain.total  # one extra forward per microbatch
+        # The first stage holds min(s, m) = 2 in-flight microbatches: the
+        # O(1) boundary stash beats stashing full activations.  The last
+        # stage holds a single microbatch either way, so recomputation only
+        # adds the rematerialised activations there.
+        assert rc.peak_memory[0] < plain.peak_memory[0]
+        assert rc.recompute and not plain.recompute
+
+    def test_single_stage_peak_memory_is_weights_plus_activations(self):
+        result = simulate_pipeline(
+            [StageTimes(forward=3.0, backward=4.0, activation_bytes=16.0, weight_bytes=2.0)],
+            1,
+            inter_group_bandwidth=1.0,
+        )
+        assert result.peak_memory == pytest.approx([2.0 + 16.0])
+
 
 # ---------------------------------------------------------------------------
 # hierarchical planner
@@ -283,16 +449,138 @@ class TestHierarchicalPlanner:
         assert set(plan.candidate_times) == {1, 2}
         assert plan.estimated_time == min(plan.candidate_times.values())
 
-    def test_degenerates_on_homogeneous_testbed(self):
-        # Compute-bound homogeneous cluster (weak-scaling batch of the
-        # 32-GPU testbed): pipelining only adds bubble, so the planner must
-        # fall back to flat SPMD.
+    def test_degenerates_on_compute_bound_homogeneous_testbed(self):
+        # Compute-bound homogeneous cluster with a fast flat network: gradient
+        # synchronisation is cheap everywhere, so pipelining only adds bubble,
+        # transfer and launch overhead and the planner must fall back to flat
+        # SPMD.  (On the paper's slow 10.4 Gbps flat network the schedule
+        # search legitimately prefers a 2-stage 1F1B pipeline — per-stage sync
+        # ships half the gradient bytes — so that case is no longer a
+        # degeneration test.)
         forward = build_vit(ViTConfig(batch_size=2048, num_layers=2))
-        plan = hap_pipeline(
-            forward, homogeneous_testbed(), HierarchicalConfig(planner=small_planner())
+        cluster = homogeneous_testbed()
+        fast = ClusterSpec(
+            cluster.machines,
+            network=NetworkSpec(bandwidth=200e9, latency=1e-6),
+            group_by_machine=cluster.group_by_machine,
+            name="homog-fast",
         )
+        plan = hap_pipeline(forward, fast, HierarchicalConfig(planner=small_planner()))
         assert plan.num_stages == 1
         assert plan.is_flat
+
+    def test_microbatch_count_snapped_to_batch_divisor(self):
+        # num_microbatches=24 does not divide the batch of 16; the planner
+        # must snap to a divisor instead of producing ragged/empty
+        # microbatches (regression for the silent acceptance of m > batch).
+        forward = build_tiny_transformer()  # batch 16
+        plan = HierarchicalPlanner(
+            forward, make_cluster(), hier_config(num_microbatches=24, max_stages=2)
+        ).plan()
+        assert plan.batch_size == 16
+        assert plan.num_microbatches <= 16
+        assert 16 % plan.num_microbatches == 0
+
+    def test_nearest_divisor_helper(self):
+        from repro.core.hierarchical import _nearest_divisor
+
+        assert _nearest_divisor(16, 24) == 16
+        assert _nearest_divisor(16, 5) == 4
+        assert _nearest_divisor(16, 6) == 8  # tie prefers more microbatches
+        assert _nearest_divisor(7, 3) == 1
+        assert _nearest_divisor(12, 100) == 12
+
+    def test_schedule_search_is_recorded(self):
+        plan = HierarchicalPlanner(
+            build_tiny_transformer(), make_cluster(), hier_config(max_stages=2)
+        ).plan()
+        combos = plan.schedule_candidate_times
+        assert combos, "joint search must record its candidates"
+        schedules = {key[1] for key in combos if key[0] == 2}
+        assert {"gpipe", "1f1b"} <= schedules
+        microbatches = {key[2] for key in combos if key[0] == 2 and key[1] == "1f1b"}
+        assert len(microbatches) > 1  # genuine microbatch-count search
+        # The flat candidate stays a whole-batch run.
+        assert (1, "gpipe", 1, False) in combos
+
+    def test_memory_constrained_testbed_selects_1f1b(self):
+        # Acceptance scenario: devices with 1 GB of memory.  GPipe stashes
+        # all m in-flight microbatch activations and exceeds capacity at the
+        # microbatch count the bubble wants; 1F1B bounds the stash by the
+        # pipeline depth and fits, so the planner must choose it with more
+        # microbatches than stages.
+        from repro.cluster.device import DeviceType
+        from repro.cluster import ClusterSpec, Machine
+        from repro.simulator import get_schedule
+
+        small = DeviceType("SmallGPU", peak_tflops=15.0, memory_bytes=1 * 1024 ** 3)
+        machines = [
+            Machine(f"a{i}", small, num_gpus=1, intra_bandwidth=100e9) for i in range(4)
+        ]
+        cluster = ClusterSpec(
+            machines,
+            network=NetworkSpec(bandwidth=100e9 / 8, latency=5e-6),
+            group_by_machine=True,
+            name="mem-constrained",
+        )
+        forward = build_bert(BERTConfig(batch_size=64, num_layers=2))
+        config = hier_config(
+            schedules=["gpipe", "1f1b"], recompute="never", max_stages=2
+        )
+        planner = HierarchicalPlanner(forward, cluster, config)
+        plan = planner.plan()
+        assert plan.num_stages == 2
+        assert plan.schedule_name == "1f1b"
+        assert plan.fits_memory
+        assert plan.num_microbatches > config.max_stages
+        # GPipe at the very same microbatch count exceeds device memory.
+        times = planner._stage_times(plan.stages)
+        network = plan.partition.inter_group_network
+        gpipe = get_schedule("gpipe").simulate(
+            times, plan.num_microbatches, network.bandwidth, network.latency
+        )
+        assert not planner._fits_memory(plan.stages, gpipe)
+        ofob = get_schedule("1f1b").simulate(
+            times, plan.num_microbatches, network.bandwidth, network.latency
+        )
+        assert planner._fits_memory(plan.stages, ofob)
+
+    def test_recompute_auto_only_wins_under_memory_pressure(self):
+        # With abundant memory the "auto" policy must not pick recomputation
+        # (it costs an extra forward per microbatch).
+        plan = HierarchicalPlanner(
+            build_tiny_transformer(), make_cluster(), hier_config(max_stages=2)
+        ).plan()
+        assert plan.recompute is False
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            hier_config(recompute="sometimes")
+        with pytest.raises(KeyError):
+            hier_config(schedules=["gpipe", "zig-zag"])
+
+    def test_interleaved_only_with_incompatible_batch_falls_back_to_flat(self):
+        # Batch 16 has no divisor that is a multiple of 3, so an
+        # interleaved-only search has no valid microbatch count at 3 stages;
+        # the planner must skip those candidates (not crash) and keep the
+        # always-valid flat plan.
+        forward = build_tiny_transformer()  # batch 16
+        cluster = make_cluster(("A100", "A100", "P100"))
+        plan = HierarchicalPlanner(
+            forward,
+            cluster,
+            hier_config(schedules=["interleaved-1f1b"], stage_candidates=[3]),
+        ).plan()
+        assert plan.num_stages == 1
+        # With a compatible stage count the interleaved-only search works and
+        # discovers batch divisors that are multiples of the stage count.
+        plan2 = HierarchicalPlanner(
+            forward,
+            cluster,
+            hier_config(schedules=["interleaved-1f1b"], stage_candidates=[2]),
+        ).plan()
+        combos = {k for k in plan2.schedule_candidate_times if k[0] == 2}
+        assert combos and all(k[2] % 2 == 0 for k in combos)
 
     def test_pipelines_on_bandwidth_constrained_heterogeneous_testbed(self):
         # The whimpy-cluster scenario: machine groups with fast internal
@@ -362,6 +650,62 @@ class TestHierarchicalRuntimeParity:
                 atol=1e-4,
                 err_msg=f"pruned parameter {param} must stay unchanged",
             )
+
+    @pytest.mark.parametrize(
+        "builder,num_microbatches,rtol",
+        [
+            (build_mlp, 2, 2e-4),
+            (build_mlp, 4, 2e-4),
+            (build_tiny_transformer, 2, 2e-4),
+            (build_tiny_transformer, 4, 2e-4),
+            (build_tiny_moe, 2, 1e-3),
+        ],
+    )
+    def test_microbatched_execution_matches_full_batch(self, builder, num_microbatches, rtol):
+        # Gradient accumulation over equal microbatches with sum-reduced
+        # losses is mathematically identical to the full-batch iteration, so
+        # the microbatched 1F1B runtime must reproduce single-device training
+        # (the schedule's interleaving only affects timing, not numerics).
+        forward = builder()
+        planner = HierarchicalPlanner(forward, make_cluster(), hier_config())
+        plan = planner.build_candidate(2)
+        assert plan is not None
+        training = build_training_graph(forward)
+        bindings = bindings_for(training.graph, seed=3)
+        reference = SingleDeviceExecutor(training.graph).run(bindings)
+        result = run_hierarchical_plan(plan, bindings, num_microbatches=num_microbatches)
+        assert result.loss == pytest.approx(
+            float(reference[training.loss]), rel=rtol, abs=1e-4
+        )
+        for param, update_node in training.updates.items():
+            np.testing.assert_allclose(
+                result.updated_parameters[param],
+                reference[update_node],
+                rtol=rtol,
+                atol=1e-4,
+                err_msg=f"parameter {param} diverged at m={num_microbatches}",
+            )
+
+    def test_microbatched_matches_full_batch_hierarchical_run(self):
+        forward = build_tiny_transformer()
+        plan = HierarchicalPlanner(forward, make_cluster(), hier_config()).build_candidate(2)
+        training = build_training_graph(forward)
+        bindings = bindings_for(training.graph, seed=4)
+        full = run_hierarchical_plan(plan, bindings, num_microbatches=1)
+        micro = run_hierarchical_plan(plan, bindings, num_microbatches=4)
+        assert micro.loss == pytest.approx(full.loss, rel=2e-4, abs=1e-5)
+        for param, value in full.updated_parameters.items():
+            np.testing.assert_allclose(
+                micro.updated_parameters[param], value, rtol=2e-4, atol=1e-5
+            )
+
+    def test_indivisible_microbatch_count_falls_back_to_full_batch(self):
+        forward = build_mlp()  # batch 16
+        plan = HierarchicalPlanner(forward, make_cluster(), hier_config()).build_candidate(2)
+        from repro.runtime.spmd import HierarchicalExecutor
+
+        executor = HierarchicalExecutor(plan, num_microbatches=5)  # 5 does not divide 16
+        assert executor.num_microbatches == 1
 
     def test_flat_plan_executes_through_hierarchical_runtime(self):
         forward = build_mlp()

@@ -54,6 +54,27 @@ class TestModelZoo:
         b16 = g16.placeholders()[0].spec.shape[0]
         assert b16 == 2 * b8 == PER_DEVICE_BATCH["bert_base"] * 16
 
+    @pytest.mark.parametrize("name", ["bert_base", "bert_moe"])
+    def test_scale_batch_per_device_is_honoured(self, name):
+        # Regression: build_model used to hardwire the global batch to
+        # PER_DEVICE_BATCH regardless of the scale, corrupting weak-scaling
+        # and reduced-scale experiments.
+        from repro.models import BenchmarkScale
+
+        scale = BenchmarkScale("test", layer_fraction=0.1, batch_per_device=8)
+        graph = build_model(name, num_gpus=4, scale=scale)
+        assert graph.placeholders()[0].spec.shape[0] == 8 * 4
+
+    def test_scale_without_batch_keeps_paper_defaults(self):
+        from repro.models import BenchmarkScale
+
+        scale = BenchmarkScale("test", layer_fraction=0.1)  # batch_per_device=None
+        for name in MODEL_NAMES:
+            graph = build_model(name, num_gpus=4, scale=scale)
+            assert graph.placeholders()[0].spec.shape[0] == PER_DEVICE_BATCH[name] * 4
+        assert BenchmarkScale.paper().batch_per_device is None
+        assert BenchmarkScale.reduced().batch_per_device is None
+
     def test_moe_experts_scale_with_devices(self):
         g8 = build_model("bert_moe", num_gpus=8)
         g16 = build_model("bert_moe", num_gpus=16)
