@@ -11,7 +11,11 @@ cost regressions and plan-quality drifts are both visible:
   footprint is infeasible and the planner must fall back to 1F1B-family
   schedules at high microbatch counts;
 * ``homogeneous-fast``: a compute-bound cluster with a fast flat network
-  where the planner must degenerate to flat HAP.
+  where the planner must degenerate to flat HAP;
+* ``interleaved-chunked``: the bandwidth-constrained cluster again, with the
+  search forced onto ``interleaved-1f1b`` so planning must cut ``s * v`` real
+  model chunks and run flat HAP per chunk — the per-chunk planning cost that
+  the ``--max-planning-seconds`` guard keeps in check.
 
 Usage::
 
@@ -97,6 +101,14 @@ def _testbeds(fast: bool) -> List[Dict[str, object]]:
             "intra_group_network": None,
             "scale": None,
         },
+        {
+            "name": "interleaved-chunked",
+            "cluster": heterogeneous_testbed(num_gpus=16 if fast else 32, gpus_per_machine=8),
+            "intra_group_network": intra,
+            "scale": None,
+            "schedules": ["interleaved-1f1b"],
+            "num_model_chunks": 2,
+        },
     ]
 
 
@@ -114,6 +126,8 @@ def run_benchmark(fast: bool, beam: int, rounds: int) -> Dict[str, object]:
         config = HierarchicalConfig(
             planner=bench_planner(beam=beam, rounds=rounds),
             intra_group_network=testbed["intra_group_network"],  # type: ignore[arg-type]
+            schedules=testbed.get("schedules"),  # type: ignore[arg-type]
+            num_model_chunks=testbed.get("num_model_chunks", 2),  # type: ignore[arg-type]
         )
         start = time.perf_counter()
         plan = hap_pipeline(forward, cluster, config)
@@ -128,6 +142,7 @@ def run_benchmark(fast: bool, beam: int, rounds: int) -> Dict[str, object]:
                 "schedule": plan.schedule_name,
                 "num_microbatches": plan.num_microbatches,
                 "num_model_chunks": plan.num_model_chunks,
+                "num_chunk_programs": len(plan.chunk_sequence()),
                 "recompute": plan.recompute,
                 "fits_memory": plan.fits_memory,
                 "estimated_ms": plan.estimated_time * 1e3,

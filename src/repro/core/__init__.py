@@ -11,6 +11,7 @@ from .properties import DistState, Property, StateKind, partial, replicated, sha
 from .rules import Rule, Theory, Variant, build_theory, moe_restricted_refs, node_variants
 from .synthesizer import ProgramSynthesizer, SynthesisError, SynthesisResult, synthesize_program
 from .hierarchical import (
+    ChunkPlan,
     HierarchicalConfig,
     HierarchicalPlan,
     HierarchicalPlanner,
@@ -56,6 +57,7 @@ __all__ = [
     "SynthesisResult",
     "SynthesisError",
     "synthesize_program",
+    "ChunkPlan",
     "HierarchicalConfig",
     "HierarchicalPlan",
     "HierarchicalPlanner",

@@ -6,13 +6,15 @@ bandwidth-constrained clusters.  The hierarchical planner instead
 
 1. partitions the cluster into contiguous machine groups
    (:meth:`~repro.cluster.spec.ClusterSpec.partition`),
-2. cuts the model into pipeline stages balanced against each group's
-   aggregate compute (:func:`~repro.graph.analysis.pipeline_cut`),
-3. differentiates each stage in isolation
+2. cuts the model into contiguous chunks balanced against each group's
+   aggregate compute (:func:`~repro.graph.analysis.interleaved_pipeline_cut`
+   — one chunk per stage normally, ``s * v`` round-robin chunks for the
+   interleaved schedule),
+3. differentiates each chunk in isolation
    (:func:`~repro.autodiff.build_stage_training_graph`), and
 4. runs the *existing* flat :class:`~repro.core.pipeline.HAPPlanner` on every
-   (stage graph, machine group) pair, so all of HAP's program synthesis and
-   load balancing is reused unchanged inside each stage.
+   (chunk graph, machine group) pair, so all of HAP's program synthesis and
+   load balancing is reused unchanged inside each chunk.
 
 For every stage count the planner then searches jointly over the pipeline
 **schedule** (GPipe, 1F1B, interleaved 1F1B — :mod:`repro.simulator.schedule`),
@@ -37,15 +39,15 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..autodiff.backward import StageTrainingInfo, build_stage_training_graph
 from ..cluster.spec import ClusterPartition, ClusterSpec, NetworkSpec
-from ..graph.analysis import PipelineCut, pipeline_cut
+from ..graph.analysis import PipelineCut, interleaved_pipeline_cut
 from ..graph.graph import ComputationGraph, GraphError
 from ..graph.ops import OpKind
 from ..simulator.schedule import (
     SCHEDULE_NAMES,
+    ChunkTimes,
     ScheduleResult,
     StageTimes,
     get_schedule,
-    peak_stage_memory,
     simulate_pipeline,
 )
 from .config import PlannerConfig
@@ -76,6 +78,11 @@ class HierarchicalConfig:
         schedules: pipeline schedules searched; defaults to all of
             :data:`repro.simulator.schedule.SCHEDULE_NAMES`.
         num_model_chunks: model chunks per stage for ``interleaved-1f1b``.
+            The planner cuts ``num_stages * num_model_chunks`` real chunks,
+            plans each with flat HAP and simulates the schedule with the
+            per-chunk profiles; when the graph has too few splittable blocks
+            for that many chunks the interleaved schedule is skipped at that
+            stage count (never approximated with synthetic equal chunks).
         recompute: activation recomputation policy — ``"never"``,
             ``"always"``, or ``"auto"`` (try without; a recomputing variant
             only wins when plain stashing exceeds device memory, since it
@@ -111,31 +118,40 @@ class HierarchicalConfig:
 
 
 @dataclass
-class StagePlan:
-    """One pipeline stage: a flat HAP plan on one machine group.
+class ChunkPlan:
+    """One model chunk: a flat HAP plan for one chunk graph on one group.
+
+    A plan's pipeline is a sequence of ``s * v`` *virtual stages* (``v`` model
+    chunks round-robin over ``s`` physical stages); virtual stage
+    ``k = chunk * s + stage_index`` runs this chunk's program.  With ``v == 1``
+    a chunk is exactly a whole pipeline stage.
 
     Attributes:
-        index: stage position in the pipeline.
-        subcluster: the machine group this stage runs on.
-        plan: the flat HAP plan for the stage's training graph.
-        info: stage-graph book-keeping (boundary refs, gradient seeds,
+        chunk: model-chunk index ``c`` in ``0..v-1``.
+        stage_index: physical stage (machine group) hosting the chunk.
+        virtual_index: position ``k = chunk * s + stage_index`` in the
+            virtual-stage order.
+        subcluster: the machine group this chunk runs on.
+        plan: the flat HAP plan for the chunk's training graph.
+        info: chunk-graph book-keeping (boundary refs, gradient seeds,
             per-parameter updates) used by the hierarchical runtime.
-        send_bytes: full-mini-batch activation bytes sent to later stages.
-        recv_bytes: full-mini-batch activation bytes received from upstream
-            (the recomputation stash per in-flight microbatch).
-        activation_bytes: full-mini-batch forward activation bytes the stage
+        send_bytes: full-mini-batch activation bytes handed to later virtual
+            stages — for a chunk on the last physical stage that is the
+            wrap-around hop back to physical stage 0.
+        activation_bytes: full-mini-batch forward activation bytes the chunk
             stashes for its backward pass.
-        sharded_param_bytes: parameter bytes the stage program shards across
+        sharded_param_bytes: parameter bytes the chunk program shards across
             its group (each device holds its ratio's worth).
         replicated_param_bytes: parameter bytes replicated on every device.
     """
 
-    index: int
+    chunk: int
+    stage_index: int
+    virtual_index: int
     subcluster: ClusterSpec
     plan: HAPPlan
     info: StageTrainingInfo
     send_bytes: int
-    recv_bytes: int = 0
     activation_bytes: int = 0
     sharded_param_bytes: int = 0
     replicated_param_bytes: int = 0
@@ -159,30 +175,93 @@ class StagePlan:
             self.replicated_param_bytes * n + self.sharded_param_bytes
         )
 
-    def peak_device_memory(
-        self, num_microbatches: int, num_chunks: int, inflight: int, recompute: bool
-    ) -> List[float]:
-        """Per-device peak bytes under a schedule's in-flight microbatch count.
 
-        Each device stashes its sharding-ratio share of the in-flight
-        activations (the batch dimension is sharded) on top of its resident
-        parameter state; the memory model itself is
-        :func:`repro.simulator.schedule.peak_stage_memory`, shared with the
-        schedule simulator's aggregate reporting.
-        """
-        return [
-            peak_stage_memory(
-                weight_bytes=OPTIMIZER_STATE_FACTOR
-                * (self.replicated_param_bytes + self.sharded_param_bytes * ratio),
-                activation_bytes=self.activation_bytes * ratio,
-                recv_bytes=self.recv_bytes * ratio,
-                inflight=inflight,
-                num_microbatches=num_microbatches,
-                num_chunks=num_chunks,
-                recompute=recompute,
+@dataclass
+class StagePlan:
+    """One physical pipeline stage: the model chunks resident on one group.
+
+    With a non-interleaved schedule a stage hosts exactly one chunk and the
+    single-chunk accessors (``plan``/``info``/``program``/``ratios``/
+    ``forward_nodes``) delegate to it; interleaved stages host
+    ``num_model_chunks`` chunk programs and those accessors raise — callers
+    must iterate ``chunks`` (the runtime and simulator do).
+
+    Attributes:
+        index: stage position in the pipeline.
+        subcluster: the machine group this stage runs on.
+        chunks: the stage's :class:`ChunkPlan`\\ s, in model-chunk order.
+    """
+
+    index: int
+    subcluster: ClusterSpec
+    chunks: List[ChunkPlan]
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.chunks)
+
+    def _single(self) -> ChunkPlan:
+        if len(self.chunks) != 1:
+            raise ValueError(
+                f"stage {self.index} hosts {len(self.chunks)} model chunks; "
+                "use .chunks for per-chunk access"
             )
-            for ratio in self.ratios
-        ]
+        return self.chunks[0]
+
+    @property
+    def plan(self) -> HAPPlan:
+        return self._single().plan
+
+    @property
+    def info(self) -> StageTrainingInfo:
+        return self._single().info
+
+    @property
+    def program(self) -> DistributedProgram:
+        return self._single().program
+
+    @property
+    def ratios(self) -> List[float]:
+        return self._single().ratios
+
+    @property
+    def forward_nodes(self) -> Set[str]:
+        return self._single().forward_nodes
+
+    @property
+    def send_bytes(self) -> int:
+        """Full-mini-batch bytes this stage ships downstream (all chunks)."""
+        return sum(c.send_bytes for c in self.chunks)
+
+    @property
+    def activation_bytes(self) -> int:
+        return sum(c.activation_bytes for c in self.chunks)
+
+    def weight_bytes_total(self) -> float:
+        """Group-aggregate resident parameter/gradient/optimizer bytes."""
+        return sum(c.weight_bytes_total() for c in self.chunks)
+
+    def peak_device_memory(self, peak_stash: float) -> List[float]:
+        """Per-device peak bytes given the schedule's aggregate stash.
+
+        ``peak_stash`` is the stage's group-aggregate activation-stash peak
+        from :class:`~repro.simulator.schedule.ScheduleResult`.  Activations
+        are batch-sharded, so each device holds its sharding-ratio share of
+        the stash — chunks may be balanced differently, so the device's worst
+        chunk ratio bounds its share — on top of its resident parameter
+        state.
+        """
+        n = self.subcluster.num_devices
+        peaks: List[float] = []
+        for j in range(n):
+            weight = sum(
+                OPTIMIZER_STATE_FACTOR
+                * (c.replicated_param_bytes + c.sharded_param_bytes * c.ratios[j])
+                for c in self.chunks
+            )
+            share = max(c.ratios[j] for c in self.chunks)
+            peaks.append(weight + peak_stash * share)
+        return peaks
 
 
 @dataclass
@@ -248,14 +327,25 @@ class HierarchicalPlan:
     def estimated_iteration_time(self) -> float:
         return self.estimated_time
 
+    def chunk_sequence(self) -> List[ChunkPlan]:
+        """All chunk plans in virtual-stage order (``k = chunk * s + stage``).
+
+        The order activations flow through the pipeline: chunk 0 of every
+        stage front to back, then chunk 1 front to back (entered via the
+        wrap hop), and so on.  With ``num_model_chunks == 1`` this is simply
+        the stages in pipeline order.
+        """
+        v = max(stage.num_chunks for stage in self.stages)
+        return [stage.chunks[c] for c in range(v) for stage in self.stages]
+
     @property
     def num_communications(self) -> int:
-        return sum(s.program.num_communications for s in self.stages)
+        return sum(c.program.num_communications for c in self.chunk_sequence())
 
     def communication_kinds(self) -> Dict[str, int]:
         hist: Dict[str, int] = {}
-        for stage in self.stages:
-            for kind, count in stage.program.communication_kinds().items():
+        for chunk in self.chunk_sequence():
+            for kind, count in chunk.program.communication_kinds().items():
                 hist[kind] = hist.get(kind, 0) + count
         return hist
 
@@ -289,10 +379,15 @@ class HierarchicalPlan:
                 else ""
             )
             mem = f", peak mem {peak / 1e9:.2f}/{cap / 1e9:.0f} GB{util}" if cap else ""
+            nodes = sum(len(c.info.graph) for c in stage.chunks)
+            est = sum(c.plan.estimated_time.total for c in stage.chunks)
+            chunk_note = (
+                f" in {stage.num_chunks} chunk programs" if stage.num_chunks > 1 else ""
+            )
             lines.append(
-                f"  stage {stage.index}: {len(stage.info.graph)} nodes on "
+                f"  stage {stage.index}: {nodes} nodes{chunk_note} on "
                 f"{group.name} ({group.num_gpus} GPUs), "
-                f"est {stage.plan.estimated_time.total * 1e3:.2f} ms flat, "
+                f"est {est * 1e3:.2f} ms flat, "
                 f"sends {stage.send_bytes / 1e6:.2f} MB downstream{mem}"
             )
         if self.candidate_times:
@@ -327,18 +422,29 @@ def stage_forward_graph(
     return graph
 
 
+def _divisors(n: int) -> List[int]:
+    """All divisors of ``n``, ascending, enumerated in O(sqrt(n)) pairs."""
+    small: List[int] = []
+    large: List[int] = []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+        d += 1
+    return small + large[::-1]
+
+
 def _nearest_divisor(n: int, target: int) -> int:
-    """The divisor of ``n`` closest to ``target`` (ties prefer the larger)."""
+    """The divisor of ``n`` closest to ``target`` (ties prefer the larger).
+
+    Enumerates divisor pairs in O(sqrt(n)) — this runs inside the planner's
+    schedule-search loop, where a linear scan over production batch sizes
+    was a hidden O(batch) cost per candidate.
+    """
     target = max(1, min(target, n))
-    best = 1
-    for d in range(1, n + 1):
-        if n % d:
-            continue
-        if abs(d - target) < abs(best - target) or (
-            abs(d - target) == abs(best - target) and d > best
-        ):
-            best = d
-    return best
+    return min(_divisors(n), key=lambda d: (abs(d - target), -d))
 
 
 class HierarchicalPlanner:
@@ -396,17 +502,22 @@ class HierarchicalPlanner:
             base = list(self.config.microbatch_candidates or (2, 4, 8, 16, 32))
             if schedule_name == "interleaved-1f1b":
                 base += [num_stages, 2 * num_stages]
-                if self.batch_size is not None:
-                    # Divisor-snapping below can miss every multiple of the
-                    # stage count; offer the batch divisors that satisfy the
-                    # interleaved constraint directly (there may be none, in
-                    # which case the schedule is genuinely infeasible here).
-                    base += [
-                        d
-                        for d in range(num_stages, self.batch_size + 1, num_stages)
-                        if self.batch_size % d == 0
-                    ]
         out: Set[int] = set()
+        if schedule_name == "interleaved-1f1b" and self.batch_size is not None:
+            # The interleaved schedule needs m to divide the batch *and* be a
+            # multiple of the stage count.  Snap every configured candidate to
+            # the nearest such divisor — the candidate list stays bounded by
+            # the configured candidates instead of enumerating every multiple
+            # of the stage count up to the batch (an O(batch) blow-up at
+            # production batch sizes).  An empty ``valid`` means the schedule
+            # is genuinely infeasible at this stage count.
+            valid = [d for d in _divisors(self.batch_size) if d % num_stages == 0]
+            if not valid:
+                return []
+            for m in base:
+                m = max(1, int(m))
+                out.add(min(valid, key=lambda d: (abs(d - m), -d)))
+            return sorted(out)
         for m in base:
             m = max(1, int(m))
             if self.batch_size is not None:
@@ -417,28 +528,36 @@ class HierarchicalPlanner:
         return sorted(out)
 
     # -- per-candidate construction -------------------------------------------------
-    def build_candidate(self, num_stages: int) -> Optional[HierarchicalPlan]:
-        # The intra-group network only applies to proper partitions: a single
-        # group is the whole cluster and still spans the slow flat network.
-        intra = self.config.intra_group_network if num_stages > 1 else None
-        partition = self.cluster.partition(num_stages, intra_group_network=intra)
-        cut = pipeline_cut(self.forward, partition.compute_ratios())
-        if cut.num_stages != partition.num_groups:
-            return None  # the graph has fewer splittable layer blocks
-        stages: List[StagePlan] = []
-        for idx in range(cut.num_stages):
-            stage_fwd = stage_forward_graph(self.forward, cut, idx)
+    def _build_stages(
+        self, partition: ClusterPartition, num_chunks: int
+    ) -> Optional[Tuple[PipelineCut, List[StagePlan]]]:
+        """Cut ``s * num_chunks`` real chunks and plan each with flat HAP.
+
+        Returns ``None`` when the graph has too few splittable layer blocks
+        for that many contiguous pieces — the caller then drops the chunked
+        (or multi-stage) variant rather than falling back to a synthetic
+        equal-chunk model.
+        """
+        s = partition.num_groups
+        cut = interleaved_pipeline_cut(
+            self.forward, partition.compute_ratios(), num_chunks
+        )
+        if cut.num_stages != s * num_chunks:
+            return None
+        chunk_plans: List[ChunkPlan] = []
+        for k in range(cut.num_stages):
+            stage_idx = k % s
+            chunk_fwd = stage_forward_graph(self.forward, cut, k)
             info = build_stage_training_graph(
-                stage_fwd,
-                boundary_inputs=tuple(cut.incoming_refs(idx)),
-                boundary_outputs=cut.cut_refs[idx],
+                chunk_fwd,
+                boundary_inputs=tuple(cut.incoming_refs(k)),
+                boundary_outputs=cut.cut_refs[k],
                 lr=self.config.lr,
             )
-            plan = HAPPlanner(info.graph, partition.groups[idx], self.config.planner).plan()
-            send_bytes = sum(self.forward[ref].spec.size_bytes for ref in cut.cut_refs[idx])
-            recv_bytes = sum(
-                self.forward[ref].spec.size_bytes for ref in cut.incoming_refs(idx)
-            )
+            plan = HAPPlanner(
+                info.graph, partition.groups[stage_idx], self.config.planner
+            ).plan()
+            send_bytes = sum(self.forward[ref].spec.size_bytes for ref in cut.cut_refs[k])
             activation_bytes = sum(
                 info.graph[name].spec.size_bytes
                 for name in info.forward_nodes
@@ -455,32 +574,66 @@ class HierarchicalPlanner:
                 for p in info.graph.parameters()
                 if shardings.get(p.name) is None
             )
-            stages.append(
-                StagePlan(
-                    index=idx,
-                    subcluster=partition.groups[idx],
+            chunk_plans.append(
+                ChunkPlan(
+                    chunk=k // s,
+                    stage_index=stage_idx,
+                    virtual_index=k,
+                    subcluster=partition.groups[stage_idx],
                     plan=plan,
                     info=info,
                     send_bytes=send_bytes,
-                    recv_bytes=recv_bytes,
                     activation_bytes=activation_bytes,
                     sharded_param_bytes=sharded,
                     replicated_param_bytes=replicated,
                 )
             )
-        times = self._stage_times(stages)
-        best = self._search_schedules(partition, stages, times)
+        stages = [
+            StagePlan(
+                index=i,
+                subcluster=partition.groups[i],
+                chunks=[c for c in chunk_plans if c.stage_index == i],
+            )
+            for i in range(s)
+        ]
+        return cut, stages
+
+    def build_candidate(self, num_stages: int) -> Optional[HierarchicalPlan]:
+        # The intra-group network only applies to proper partitions: a single
+        # group is the whole cluster and still spans the slow flat network.
+        intra = self.config.intra_group_network if num_stages > 1 else None
+        partition = self.cluster.partition(num_stages, intra_group_network=intra)
+        v = self.config.num_model_chunks
+        # Plan only the chunk variants some (schedule, microbatch) combo will
+        # actually consume: flat-HAP planning per chunk is the expensive part
+        # of a candidate, so an interleaved-only search skips the 1-chunk cut
+        # and a schedule with no valid microbatch count (e.g. no batch
+        # divisor is a multiple of the stage count) never triggers the s*v
+        # cut whose results the search would discard.
+        needed: Set[int] = set()
+        if num_stages == 1:
+            needed.add(1)
+        else:
+            for name in list(self.config.schedules or SCHEDULE_NAMES):
+                chunks = v if (name == "interleaved-1f1b" and v > 1) else 1
+                if self._microbatch_candidates(num_stages, name):
+                    needed.add(chunks)
+        # variant key = model chunks per stage -> (cut, stages, stage times).
+        variants: Dict[int, Tuple[PipelineCut, List[StagePlan], List[StageTimes]]] = {}
+        for chunks in sorted(needed):
+            built = self._build_stages(partition, chunks)
+            if built is not None:
+                variants[chunks] = (built[0], built[1], self._stage_times(built[1]))
+        if not variants:
+            return None  # the graph has fewer splittable layer blocks
+        best = self._search_schedules(partition, variants)
         if best is None:
             return None  # no (schedule, microbatch) combination at this stage count
-        schedule, schedule_name, recompute, fits, combo_times = best
+        schedule, schedule_name, recompute, fits, combo_times, win_chunks = best
+        cut, stages, _times = variants[win_chunks]
         utilization: List[float] = []
-        for stage, inflight in zip(stages, schedule.peak_inflight):
-            peaks = stage.peak_device_memory(
-                schedule.num_microbatches,
-                schedule.num_model_chunks,
-                inflight,
-                schedule.recompute,
-            )
+        for stage, stash in zip(stages, schedule.peak_stash):
+            peaks = stage.peak_device_memory(stash)
             utilization.append(
                 max(
                     peak / cap
@@ -504,25 +657,46 @@ class HierarchicalPlanner:
             stage_memory_utilization=utilization,
             schedule_candidate_times=combo_times,
             batch_size=self.batch_size,
-            microbatch_overhead=0.0 if cut.num_stages == 1 else self.config.microbatch_overhead,
+            microbatch_overhead=0.0 if num_stages == 1 else self.config.microbatch_overhead,
         )
 
     def _stage_times(self, stages: Sequence[StagePlan]) -> List[StageTimes]:
-        """Per-stage timing/memory inputs from the stage cost models."""
+        """Per-stage (and per-chunk) timing/memory inputs from the cost models.
+
+        Every chunk program is profiled individually, so the schedule
+        simulator sees real per-chunk forward/backward times and real
+        per-virtual-boundary bytes — including the wrap hop from the last
+        physical stage back to stage 0.
+        """
         times: List[StageTimes] = []
         for stage in stages:
-            cost_model = CostModel(stage.plan.program.graph, stage.subcluster)
-            buckets = cost_model.phase_profile(
-                stage.plan.program, stage.ratios, stage.forward_nodes
-            )
+            chunk_times: List[ChunkTimes] = []
+            fwd = bwd = sync = 0.0
+            for chunk in stage.chunks:
+                cost_model = CostModel(chunk.plan.program.graph, stage.subcluster)
+                buckets = cost_model.phase_profile(
+                    chunk.plan.program, chunk.ratios, chunk.forward_nodes
+                )
+                chunk_times.append(
+                    ChunkTimes(
+                        forward=buckets["forward"],
+                        backward=buckets["backward"],
+                        send_bytes=float(chunk.send_bytes),
+                        activation_bytes=float(chunk.activation_bytes),
+                    )
+                )
+                fwd += buckets["forward"]
+                bwd += buckets["backward"]
+                sync += buckets["sync"]
             times.append(
                 StageTimes(
-                    forward=buckets["forward"],
-                    backward=buckets["backward"],
-                    sync=buckets["sync"],
+                    forward=fwd,
+                    backward=bwd,
+                    sync=sync,
                     send_bytes=float(stage.send_bytes),
                     activation_bytes=float(stage.activation_bytes),
                     weight_bytes=stage.weight_bytes_total(),
+                    chunks=tuple(chunk_times),
                 )
             )
         return times
@@ -531,14 +705,9 @@ class HierarchicalPlanner:
         self, stages: Sequence[StagePlan], result: ScheduleResult
     ) -> bool:
         """True when every device of every stage group fits its peak bytes."""
-        for stage, inflight in zip(stages, result.peak_inflight):
+        for stage, stash in zip(stages, result.peak_stash):
             capacities = stage.subcluster.device_memory()
-            peaks = stage.peak_device_memory(
-                result.num_microbatches,
-                result.num_model_chunks,
-                inflight,
-                result.recompute,
-            )
+            peaks = stage.peak_device_memory(stash)
             if any(peak > cap for peak, cap in zip(peaks, capacities)):
                 return False
         return True
@@ -546,12 +715,17 @@ class HierarchicalPlanner:
     def _search_schedules(
         self,
         partition: ClusterPartition,
-        stages: Sequence[StagePlan],
-        times: Sequence[StageTimes],
+        variants: Dict[int, Tuple[PipelineCut, List[StagePlan], List[StageTimes]]],
     ) -> Optional[
-        Tuple[ScheduleResult, str, bool, bool, Dict[Tuple[int, str, int, bool], float]]
+        Tuple[ScheduleResult, str, bool, bool, Dict[Tuple[int, str, int, bool], float], int]
     ]:
-        """Best (schedule, microbatch count, recompute) for fixed stages.
+        """Best (schedule, microbatch count, recompute) across chunk variants.
+
+        ``variants`` maps a model-chunk count to its real per-chunk plans and
+        profiles: non-interleaved schedules evaluate the 1-chunk variant,
+        ``interleaved-1f1b`` evaluates the ``num_model_chunks`` variant and is
+        skipped entirely when that cut is infeasible — an interleaved plan is
+        only ever built from real chunk programs it can execute.
 
         Combinations are ranked memory-feasible first, then by estimated
         time; activation recomputation trades one extra forward per
@@ -564,24 +738,33 @@ class HierarchicalPlanner:
         count) — the flat 1-stage candidate always exists.
         """
         network = partition.inter_group_network
-        num_stages = len(stages)
+        num_stages = partition.num_groups
         combo_times: Dict[Tuple[int, str, int, bool], float] = {}
         # A single stage is flat SPMD: the whole batch runs at once, so no
         # microbatching (and no per-microbatch overhead) applies.
         if num_stages == 1:
-            combos: List[Tuple[str, int]] = [("gpipe", 1)]
+            combos: List[Tuple[str, int, int]] = [("gpipe", 1, 1)]
         else:
             schedules = list(self.config.schedules or SCHEDULE_NAMES)
-            combos = [
-                (name, m)
-                for name in schedules
-                for m in self._microbatch_candidates(num_stages, name)
-            ]
+            combos = []
+            for name in schedules:
+                chunks = 1
+                if name == "interleaved-1f1b" and self.config.num_model_chunks > 1:
+                    chunks = self.config.num_model_chunks
+                if chunks not in variants:
+                    continue  # no real cut at this chunk count: not executable
+                combos.extend(
+                    (name, m, chunks)
+                    for m in self._microbatch_candidates(num_stages, name)
+                )
         if not combos:
             return None
         first_recompute = self.config.recompute == "always" and num_stages > 1
-        best: Optional[Tuple[Tuple[int, float, int], ScheduleResult, str, bool, bool]] = None
-        for order, (name, m) in enumerate(combos):
+        best: Optional[
+            Tuple[Tuple[int, float, int], ScheduleResult, str, bool, bool, int]
+        ] = None
+        for order, (name, m, chunks) in enumerate(combos):
+            _cut, stages, times = variants[chunks]
             attempts = [first_recompute]
             for rc in attempts:
                 result = simulate_pipeline(
@@ -593,14 +776,14 @@ class HierarchicalPlanner:
                     if num_stages == 1
                     else self.config.microbatch_overhead,
                     schedule=name,
-                    num_model_chunks=self.config.num_model_chunks,
+                    num_model_chunks=chunks,
                     recompute=rc,
                 )
                 fits = self._fits_memory(stages, result)
                 combo_times[(num_stages, name, m, rc)] = result.total
                 key = (0 if fits else 1, result.total, order)
                 if best is None or key < best[0]:
-                    best = (key, result, name, rc, fits)
+                    best = (key, result, name, rc, fits, chunks)
                 if (
                     not rc
                     and not fits
@@ -609,8 +792,8 @@ class HierarchicalPlanner:
                 ):
                     attempts.append(True)  # retry with recomputation
         assert best is not None  # combos is non-empty
-        _, result, name, rc, fits = best
-        return result, name, rc, fits, combo_times
+        _, result, name, rc, fits, chunks = best
+        return result, name, rc, fits, combo_times, chunks
 
     # -- main entry point -----------------------------------------------------------
     def plan(self) -> HierarchicalPlan:

@@ -52,8 +52,21 @@ class LoadBalanceResult:
         return list(self.ratios[0])
 
     def ratios_for_segment(self, segment: int) -> List[float]:
-        """Ratios of a given segment (clamped to the available range)."""
-        return list(self.ratios[min(segment, len(self.ratios) - 1)])
+        """Ratios of a given segment.
+
+        Raises:
+            ValueError: when ``segment`` is outside ``0..num_segments-1``.
+            An out-of-range index means the caller's segmentation disagrees
+            with the one this result was solved for — silently reusing the
+            last segment's ratios (the old behaviour) would hide such
+            planner/segmentation bugs behind slightly-wrong load balance.
+        """
+        if not 0 <= segment < len(self.ratios):
+            raise ValueError(
+                f"segment index {segment} out of range: this result was solved "
+                f"for {len(self.ratios)} segment(s)"
+            )
+        return list(self.ratios[segment])
 
 
 class LoadBalancer:

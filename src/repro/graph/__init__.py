@@ -11,6 +11,7 @@ from .analysis import (
     consumers_map,
     cut_bytes,
     cut_transfer_bytes,
+    interleaved_pipeline_cut,
     last_use,
     node_flops_map,
     pipeline_cut,
@@ -39,6 +40,7 @@ __all__ = [
     "consumers_map",
     "cut_bytes",
     "cut_transfer_bytes",
+    "interleaved_pipeline_cut",
     "last_use",
     "node_flops_map",
     "pipeline_cut",

@@ -360,6 +360,37 @@ def cut_transfer_bytes(graph: ComputationGraph, cut: PipelineCut) -> List[int]:
     return [sum(graph[ref].spec.size_bytes for ref in refs) for refs in cut.cut_refs]
 
 
+def interleaved_pipeline_cut(
+    graph: ComputationGraph,
+    stage_weights: Sequence[float],
+    num_chunks: int,
+    balance_tolerance: float = 0.1,
+) -> PipelineCut:
+    """Cut a forward graph into ``s * num_chunks`` round-robin model chunks.
+
+    Megatron-style interleaved schedules place ``v = num_chunks`` model chunks
+    on each of the ``s`` physical pipeline stages: virtual stage (chunk piece)
+    ``k`` of the contiguous topological cut runs on physical stage ``k % s``,
+    so each group hosts pieces ``k % s == i`` and microbatches wrap from the
+    last physical stage back to the first between chunks.  The per-piece flop
+    targets repeat the group compute weights round-robin, which balances each
+    group's *total* work across its ``v`` pieces on a heterogeneous cluster
+    exactly like :func:`pipeline_cut` balances whole stages.
+
+    The returned :class:`PipelineCut` has (up to) ``s * num_chunks`` stages —
+    one per *virtual* stage; callers must check ``cut.num_stages`` and treat a
+    shortfall as "the graph has too few splittable blocks for this chunk
+    count".  ``num_chunks == 1`` is exactly :func:`pipeline_cut`.
+    """
+    if num_chunks < 1:
+        raise ValueError("num_chunks must be >= 1")
+    if not stage_weights:
+        raise ValueError("stage_weights must be non-empty")
+    s = len(stage_weights)
+    weights = [stage_weights[k % s] for k in range(s * num_chunks)]
+    return pipeline_cut(graph, weights, balance_tolerance=balance_tolerance)
+
+
 def segment_flops(graph: ComputationGraph, segments: Sequence[Sequence[str]]) -> List[float]:
     """Total flops of each segment."""
     flops = node_flops_map(graph)

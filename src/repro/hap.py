@@ -70,11 +70,13 @@ def hap_pipeline(
     """Plan hierarchical (pipeline-over-SPMD) training of ``model``.
 
     Partitions the cluster into contiguous machine groups, cuts the model
-    into pipeline stages balanced against each group's compute, plans every
-    stage with flat HAP, and picks the stage count (1 = flat HAP) whose
-    GPipe-scheduled iteration time is cheapest.  The result can be executed
-    with :func:`repro.runtime.run_hierarchical_plan` or simulated with
-    :func:`repro.simulator.simulate_hierarchical`.
+    into real chunks balanced against each group's compute (one per stage,
+    or ``s * num_model_chunks`` round-robin chunks for the interleaved
+    schedule), plans every chunk with flat HAP, and searches (stage count x
+    schedule x microbatch count x recomputation) for the cheapest
+    memory-feasible iteration (1 stage = flat HAP).  The result can be
+    executed with :func:`repro.runtime.run_hierarchical_plan` or simulated
+    with :func:`repro.simulator.simulate_hierarchical`.
 
     Args:
         model: a single-device *forward* graph with a marked loss (stages are

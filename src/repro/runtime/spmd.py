@@ -430,32 +430,40 @@ class HierarchicalResult:
 class HierarchicalExecutor:
     """Executes a :class:`~repro.core.hierarchical.HierarchicalPlan`.
 
-    Each pipeline stage is an independent :class:`SPMDExecutor` over the
-    stage's machine group.  Execution chains the stages through explicit
-    activation/gradient handoff, the emulation analogue of the point-to-point
-    sends of a real pipeline schedule:
+    Every *model chunk* of the plan is an independent :class:`SPMDExecutor`
+    over its stage's machine group — an interleaved plan keeps ``v`` chunk
+    programs resident per group, a plain pipeline keeps one (the degenerate
+    ``v == 1`` case of the same code path).  Execution chains the chunks in
+    virtual-stage order (``k = chunk * s + stage``) through explicit
+    activation/gradient handoff on **every virtual boundary** — interior hops
+    and the interleaved wrap hops from the last physical stage back to the
+    first alike — the emulation analogue of the point-to-point sends of a
+    real pipeline schedule:
 
-    1. *forward sweep* (stages ``0..S-2``): each stage program runs only
+    1. a *forward task* of virtual stage ``k`` runs its chunk program only
        until its boundary-output activations are produced (the backward
        instructions never execute; gradient seeds are bound to zeros purely
-       as a fallback), and the activations are handed to the next stage;
-    2. *backward sweep* (stages ``S-1..0``): each stage program re-runs with
-       the gradient seeds bound to the (summed) gradients received from its
-       downstream consumers, producing the stage's parameter updates and the
-       gradients it sends upstream.
+       as a fallback), and hands the activations downstream;
+    2. a *backward task* re-runs the chunk program with the gradient seeds
+       bound to the (summed) gradients received from its downstream
+       consumers, producing the chunk's parameter updates and the gradients
+       it sends upstream.
 
     When the plan schedules ``m > 1`` microbatches (and the global batch is
     divisible by ``m``), the mini-batch is split along the leading dimension
-    and both sweeps run once per microbatch — the emulation analogue of the
-    1F1B/GPipe interleaving, whose per-stage order only affects timing, not
-    numerics.  Per-parameter gradients are accumulated across microbatches
+    and the tasks execute **in the plan's schedule order** (Megatron-style
+    interleaved 1F1B included), resolved one task at a time through the same
+    dependency rules as the schedule simulator.  The task order only affects
+    timing, not numerics: per-parameter gradients are accumulated across
+    microbatches (per physical stage the backward tasks of a chunk run in
+    microbatch order, so the accumulation order matches a sequential sweep)
     and the SGD update is applied exactly once per iteration, mirroring the
     once-per-iteration gradient synchronisation of the simulated schedules.
     Because the IR's loss reductions are sums over the batch, the summed
     microbatch gradients and losses match the full-batch run bit-for-bit up
     to floating-point reduction order.
 
-    The re-execution of the forward part during the backward sweep is exactly
+    The re-execution of the forward part during a backward task is exactly
     activation recomputation (gradient checkpointing); with deterministic
     kernels the recomputed activations are identical, so the chained result
     matches single-device training up to floating-point reduction order.
@@ -463,6 +471,9 @@ class HierarchicalExecutor:
 
     def __init__(self, plan, num_microbatches: Optional[int] = None) -> None:
         self.plan = plan
+        self.chunks = list(plan.chunk_sequence())
+        self.num_stages = len(plan.stages)
+        self.chunks_per_stage = len(self.chunks) // self.num_stages
         m = plan.num_microbatches if num_microbatches is None else num_microbatches
         batch = plan.batch_size
         if m > 1 and (batch is None or batch % m != 0):
@@ -471,19 +482,19 @@ class HierarchicalExecutor:
         scale = self.num_microbatches
         hint = batch // scale if (batch is not None and scale > 1) else batch
         self.executors = [
-            SPMDExecutor(stage.program, stage.ratios, batch_hint=hint, batch_scale=scale)
-            for stage in plan.stages
+            SPMDExecutor(chunk.program, chunk.ratios, batch_hint=hint, batch_scale=scale)
+            for chunk in self.chunks
         ]
 
-    def _stage_bindings(
+    def _chunk_bindings(
         self,
-        stage,
+        chunk,
         bindings: Mapping[str, np.ndarray],
         activations: Mapping[str, np.ndarray],
         grads: Optional[Mapping[str, np.ndarray]],
     ) -> Dict[str, np.ndarray]:
-        """Bindings for one stage run: data, params, activations, grad seeds."""
-        info = stage.info
+        """Bindings for one chunk run: data, params, activations, grad seeds."""
+        info = chunk.info
         scale = self.num_microbatches
         seed_ref = {seed: ref for ref, seed in info.grad_input_of.items()}
         out: Dict[str, np.ndarray] = {}
@@ -507,7 +518,8 @@ class HierarchicalExecutor:
                 out[name] = np.asarray(bindings[name])
             else:
                 raise GraphError(
-                    f"stage {stage.index}: no binding or upstream activation for {name!r}"
+                    f"virtual stage {chunk.virtual_index}: no binding or "
+                    f"upstream activation for {name!r}"
                 )
         return out
 
@@ -515,12 +527,12 @@ class HierarchicalExecutor:
         """Original-graph placeholders fed from user bindings (not handoffs)."""
         seeds: set = set()
         incoming: set = set()
-        for stage in self.plan.stages:
-            seeds.update(stage.info.grad_input_of.values())
-            incoming.update(stage.info.boundary_outputs)
+        for chunk in self.chunks:
+            seeds.update(chunk.info.grad_input_of.values())
+            incoming.update(chunk.info.boundary_outputs)
         names: set = set()
-        for stage in self.plan.stages:
-            for node in stage.info.graph:
+        for chunk in self.chunks:
+            for node in chunk.info.graph:
                 if (
                     node.op == "placeholder"
                     and node.name not in seeds
@@ -529,122 +541,261 @@ class HierarchicalExecutor:
                     names.add(node.name)
         return names
 
+    def _record_bytes(
+        self, per_chunk_bytes: List[List[int]], k: int, rank_bytes: Sequence[int]
+    ) -> None:
+        if per_chunk_bytes[k]:
+            per_chunk_bytes[k] = [
+                max(a, b) for a, b in zip(per_chunk_bytes[k], rank_bytes)
+            ]
+        else:
+            per_chunk_bytes[k] = list(rank_bytes)
+
+    def _per_stage_bytes(self, per_chunk_bytes: List[List[int]]) -> List[List[int]]:
+        """Fold per-chunk rank footprints into per-physical-stage totals.
+
+        Chunk programs of one group are resident simultaneously, so their
+        peak footprints add.
+        """
+        per_stage: List[List[int]] = []
+        for stage in self.plan.stages:
+            totals: Optional[List[int]] = None
+            for chunk in stage.chunks:
+                b = per_chunk_bytes[chunk.virtual_index]
+                if not b:
+                    continue
+                totals = list(b) if totals is None else [x + y for x, y in zip(totals, b)]
+            per_stage.append(totals or [])
+        return per_stage
+
+    def _forward_task(
+        self,
+        k: int,
+        micro_bindings: Mapping[str, np.ndarray],
+        activations: Dict[str, np.ndarray],
+        per_chunk_bytes: List[List[int]],
+    ) -> None:
+        """Run chunk ``k``'s forward up to its boundary and hand off."""
+        chunk = self.chunks[k]
+        if not chunk.info.boundary_outputs:
+            return  # final chunk: its forward is folded into the backward task
+        executor = self.executors[k]
+        result = executor.run(
+            self._chunk_bindings(chunk, micro_bindings, activations, None),
+            stop_after=chunk.info.boundary_outputs,
+        )
+        self._record_bytes(per_chunk_bytes, k, result.per_rank_bytes)
+        for ref in chunk.info.boundary_outputs:
+            activations[ref] = result.outputs[ref]
+
+    def _backward_task(
+        self,
+        k: int,
+        micro_bindings: Mapping[str, np.ndarray],
+        activations: Dict[str, np.ndarray],
+        grads: Dict[str, np.ndarray],
+        gradients: Optional[Dict[str, np.ndarray]],
+        outputs: Optional[Dict[str, np.ndarray]],
+        per_chunk_bytes: List[List[int]],
+    ) -> Optional[float]:
+        """Full run of chunk ``k`` with downstream gradient seeds bound.
+
+        Accumulates per-parameter gradients into ``gradients`` (when
+        provided), exports upstream boundary gradients into ``grads`` and
+        frees the chunk's own handoffs — once its backward ran, every
+        downstream consumer of this microbatch is already done.
+        """
+        chunk = self.chunks[k]
+        executor = self.executors[k]
+        result = executor.run(
+            self._chunk_bindings(chunk, micro_bindings, activations, grads)
+        )
+        self._record_bytes(per_chunk_bytes, k, result.per_rank_bytes)
+        if gradients is not None:
+            for param, grad_node in chunk.info.gradients.items():
+                value = executor.gather(grad_node)
+                if value is not None:
+                    gradients[param] = (
+                        value if param not in gradients else gradients[param] + value
+                    )
+        for ref, grad_node in chunk.info.grad_output_of.items():
+            contribution = result.outputs[grad_node]
+            grads[ref] = grads[ref] + contribution if ref in grads else contribution
+        if outputs is not None:
+            outputs.update(result.outputs)
+        for ref in chunk.info.boundary_outputs:
+            activations.pop(ref, None)
+            grads.pop(ref, None)
+        return result.loss if chunk.info.loss is not None else None
+
     def _one_pass(
         self,
         bindings: Mapping[str, np.ndarray],
-        per_stage_bytes: List[List[int]],
-        collect_gradients: bool = True,
+        per_chunk_bytes: List[List[int]],
     ):
-        """One forward+backward sweep over all stages for one (micro)batch.
+        """One forward+backward sweep over all chunks for the whole batch.
 
-        Returns ``(loss, gradients, outputs)`` where ``gradients`` maps every
-        parameter to its gradient for this pass (empty unless
-        ``collect_gradients`` — reassembling every parameter gradient across
-        ranks is only worth paying for cross-microbatch accumulation).
+        Returns ``(loss, outputs)``; the chunk graphs' own ``sgd_update``
+        nodes compute the updated parameters, so no gradient reassembly or
+        accumulation is needed.
         """
-        stages = self.plan.stages
         activations: Dict[str, np.ndarray] = {}
-        for stage, executor in zip(stages[:-1], self.executors[:-1]):
-            result = executor.run(
-                self._stage_bindings(stage, bindings, activations, None),
-                stop_after=stage.info.boundary_outputs,
-            )
-            for ref in stage.info.boundary_outputs:
-                activations[ref] = result.outputs[ref]
-
+        for k in range(len(self.chunks) - 1):
+            self._forward_task(k, bindings, activations, per_chunk_bytes)
         grads: Dict[str, np.ndarray] = {}
-        gradients: Dict[str, np.ndarray] = {}
         loss: Optional[float] = None
         outputs: Dict[str, np.ndarray] = {}
-        for index in reversed(range(len(stages))):
-            stage = stages[index]
-            executor = self.executors[index]
-            result = executor.run(
-                self._stage_bindings(stage, bindings, activations, grads)
+        for k in reversed(range(len(self.chunks))):
+            task_loss = self._backward_task(
+                k, bindings, activations, grads, None, outputs, per_chunk_bytes
             )
-            if per_stage_bytes[index]:
-                per_stage_bytes[index] = [
-                    max(a, b) for a, b in zip(per_stage_bytes[index], result.per_rank_bytes)
-                ]
-            else:
-                per_stage_bytes[index] = list(result.per_rank_bytes)
-            if stage.info.loss is not None:
-                loss = result.loss
-            if collect_gradients:
-                for param, grad_node in stage.info.gradients.items():
-                    value = executor.gather(grad_node)
-                    if value is not None:
-                        gradients[param] = value
-            for ref, grad_node in stage.info.grad_output_of.items():
-                contribution = result.outputs[grad_node]
-                grads[ref] = grads[ref] + contribution if ref in grads else contribution
-            outputs.update(result.outputs)
-        return loss, gradients, outputs
+            if task_loss is not None:
+                loss = task_loss
+        return loss, outputs
 
-    def run(self, bindings: Mapping[str, np.ndarray]) -> HierarchicalResult:
-        """Execute one training iteration across all pipeline stages.
+    def _task_orders(self, m: int) -> List[List]:
+        """Per-physical-stage task lists in the plan's schedule order.
 
-        Args:
-            bindings: global values for every placeholder and parameter of
-                the *original* single-device graph (stage graphs reuse the
-                original node names, so one bindings dict serves all stages).
+        Falls back to a sequential per-microbatch sweep when the plan's
+        schedule cannot express the configuration (e.g. a microbatch count
+        override that violates the interleaved divisibility rule, or a
+        single-chunk schedule name with several resident chunks).
         """
-        stages = self.plan.stages
-        m = self.num_microbatches
-        per_stage_bytes: List[List[int]] = [[] for _ in stages]
-        if m == 1:
-            loss, _gradients, outputs = self._one_pass(
-                bindings, per_stage_bytes, collect_gradients=False
-            )
-            # Whole-batch run: the graph's own sgd_update nodes computed the
-            # new parameters; no accumulation is needed.
-            updated = {
-                param: outputs[update_node]
-                for stage in stages
-                for param, update_node in stage.info.updates.items()
-            }
-            return HierarchicalResult(
-                loss=loss,
-                updated_parameters=updated,
-                outputs=outputs,
-                per_stage_rank_bytes=per_stage_bytes,
-            )
+        from ..simulator.schedule import get_schedule
 
+        s, v = self.num_stages, self.chunks_per_stage
+        name = getattr(self.plan, "schedule_name", "gpipe")
+        try:
+            impl = get_schedule(name, num_model_chunks=v)
+            if impl.num_model_chunks != v:
+                raise ValueError(f"schedule {name!r} cannot host {v} chunks per stage")
+            impl.validate(s, m)
+            return impl.task_orders(s, m, v)
+        except (KeyError, ValueError):
+            orders: List[List] = [[] for _ in range(s)]
+            for j in range(m):
+                for c in range(v):
+                    for i in range(s):
+                        orders[i].append(("F", c, j))
+                for c in reversed(range(v)):
+                    for i in range(s):
+                        orders[i].append(("B", c, j))
+            return orders
+
+    def _run_scheduled(self, bindings: Mapping[str, np.ndarray]) -> HierarchicalResult:
+        """Microbatched iteration driven by the schedule's task order.
+
+        Tasks are executed one at a time; a stage's head task runs as soon
+        as its dependencies are met (forward: upstream chunk forward done;
+        backward: own forward and downstream backward done) — the same rules
+        the schedule simulator times, minus the clock.
+        """
+        m = self.num_microbatches
+        s = self.num_stages
         batch = self.plan.batch_size
         micro = batch // m
         data_names = self._data_placeholders()
-        grad_sums: Dict[str, np.ndarray] = {}
-        loss_total: Optional[float] = None
+        micro_bindings: List[Dict[str, np.ndarray]] = []
         for j in range(m):
-            micro_bindings: Dict[str, np.ndarray] = {}
+            mb: Dict[str, np.ndarray] = {}
             for name, value in bindings.items():
                 arr = np.asarray(value)
                 if name in data_names and arr.ndim > 0 and arr.shape[0] == batch:
-                    micro_bindings[name] = arr[j * micro : (j + 1) * micro]
+                    mb[name] = arr[j * micro : (j + 1) * micro]
                 else:
-                    micro_bindings[name] = arr
-            loss, gradients, _ = self._one_pass(micro_bindings, per_stage_bytes)
-            if loss is not None:
-                loss_total = loss if loss_total is None else loss_total + loss
-            for param, grad in gradients.items():
-                grad_sums[param] = (
-                    grad if param not in grad_sums else grad_sums[param] + grad
+                    mb[name] = arr
+            micro_bindings.append(mb)
+
+        orders = self._task_orders(m)
+        last = len(self.chunks) - 1
+        activations: List[Dict[str, np.ndarray]] = [{} for _ in range(m)]
+        grads: List[Dict[str, np.ndarray]] = [{} for _ in range(m)]
+        done_f: set = set()
+        done_b: set = set()
+        heads = [0] * s
+        remaining = sum(len(order) for order in orders)
+        per_chunk_bytes: List[List[int]] = [[] for _ in self.chunks]
+        grad_sums: Dict[str, np.ndarray] = {}
+        loss_total: Optional[float] = None
+        while remaining:
+            progressed = False
+            for i in range(s):
+                while heads[i] < len(orders[i]):
+                    kind, c, j = orders[i][heads[i]]
+                    k = c * s + i
+                    if kind == "F":
+                        if k > 0 and (k - 1, j) not in done_f:
+                            break
+                        self._forward_task(
+                            k, micro_bindings[j], activations[j], per_chunk_bytes
+                        )
+                        done_f.add((k, j))
+                    else:
+                        if (k, j) not in done_f or (
+                            k != last and (k + 1, j) not in done_b
+                        ):
+                            break
+                        loss = self._backward_task(
+                            k,
+                            micro_bindings[j],
+                            activations[j],
+                            grads[j],
+                            grad_sums,
+                            None,
+                            per_chunk_bytes,
+                        )
+                        if loss is not None:
+                            loss_total = loss if loss_total is None else loss_total + loss
+                        done_b.add((k, j))
+                    heads[i] += 1
+                    remaining -= 1
+                    progressed = True
+            if not progressed:  # pragma: no cover - defensive (orders are valid)
+                raise GraphError(
+                    f"pipeline task order deadlocked with {remaining} tasks left"
                 )
+
         updated = self._apply_updates(bindings, grad_sums)
         # Per-iteration outputs: the updated parameters under their
         # update-node names (matching the whole-batch contract) and the loss.
         # Raw per-microbatch activations/gradients are not reassembled.
         outputs: Dict[str, np.ndarray] = {}
-        for stage in stages:
-            for param, update_node in stage.info.updates.items():
+        for chunk in self.chunks:
+            for param, update_node in chunk.info.updates.items():
                 outputs[update_node] = updated[param]
-            if stage.info.loss is not None and loss_total is not None:
-                outputs[stage.info.loss] = np.asarray(loss_total, dtype=np.float32)
+            if chunk.info.loss is not None and loss_total is not None:
+                outputs[chunk.info.loss] = np.asarray(loss_total, dtype=np.float32)
         return HierarchicalResult(
             loss=loss_total,
             updated_parameters=updated,
             outputs=outputs,
-            per_stage_rank_bytes=per_stage_bytes,
+            per_stage_rank_bytes=self._per_stage_bytes(per_chunk_bytes),
+        )
+
+    def run(self, bindings: Mapping[str, np.ndarray]) -> HierarchicalResult:
+        """Execute one training iteration across all pipeline chunks.
+
+        Args:
+            bindings: global values for every placeholder and parameter of
+                the *original* single-device graph (chunk graphs reuse the
+                original node names, so one bindings dict serves all chunks).
+        """
+        if self.num_microbatches > 1:
+            return self._run_scheduled(bindings)
+        per_chunk_bytes: List[List[int]] = [[] for _ in self.chunks]
+        loss, outputs = self._one_pass(bindings, per_chunk_bytes)
+        # Whole-batch run: the graph's own sgd_update nodes computed the
+        # new parameters; no accumulation is needed.
+        updated = {
+            param: outputs[update_node]
+            for chunk in self.chunks
+            for param, update_node in chunk.info.updates.items()
+        }
+        return HierarchicalResult(
+            loss=loss,
+            updated_parameters=updated,
+            outputs=outputs,
+            per_stage_rank_bytes=self._per_stage_bytes(per_chunk_bytes),
         )
 
     def _apply_updates(
@@ -652,7 +803,7 @@ class HierarchicalExecutor:
     ) -> Dict[str, np.ndarray]:
         """Once-per-iteration SGD step from the microbatch-accumulated gradients.
 
-        The stage graphs' ``sgd_update`` nodes operate on a single pass's
+        The chunk graphs' ``sgd_update`` nodes operate on a single pass's
         gradient, so the cross-microbatch step must be applied here in closed
         form (``param - lr * sum(grads)``).  The microbatch parity tests
         compare this against the graph-executed single-device update every
@@ -660,9 +811,9 @@ class HierarchicalExecutor:
         ``lr`` attribute is read strictly for the same reason.
         """
         updated: Dict[str, np.ndarray] = {}
-        for stage in self.plan.stages:
-            for param, update_node in stage.info.updates.items():
-                lr = float(stage.info.graph[update_node].attrs["lr"])
+        for chunk in self.chunks:
+            for param, update_node in chunk.info.updates.items():
+                lr = float(chunk.info.graph[update_node].attrs["lr"])
                 base = np.asarray(bindings[param], dtype=np.float32)
                 grad = gradients.get(param)
                 updated[param] = base.copy() if grad is None else base - lr * grad

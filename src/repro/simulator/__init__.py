@@ -10,6 +10,7 @@ from .engine import (
 )
 from .schedule import (
     SCHEDULE_NAMES,
+    ChunkTimes,
     GPipeSchedule,
     InterleavedOneFOneBSchedule,
     OneFOneBSchedule,
@@ -35,5 +36,6 @@ __all__ = [
     "get_schedule",
     "ScheduleResult",
     "StageTimes",
+    "ChunkTimes",
     "simulate_pipeline",
 ]

@@ -24,7 +24,7 @@ from ..core.costmodel import CostModel
 from ..core.instructions import CommInstruction, CompInstruction
 from ..core.program import DistributedProgram
 from ..graph.ops import OpKind
-from .schedule import ScheduleResult, StageTimes, simulate_pipeline
+from .schedule import ChunkTimes, ScheduleResult, StageTimes, simulate_pipeline
 
 
 @dataclass(frozen=True)
@@ -257,26 +257,52 @@ def simulate_hierarchical(
 ) -> HierarchicalSimulationResult:
     """Simulate a :class:`~repro.core.hierarchical.HierarchicalPlan`.
 
-    Every stage program is profiled on its own machine group with the full
-    overhead model, the plan's pipeline schedule (GPipe, 1F1B or interleaved
-    1F1B, with the plan's microbatch count and recomputation choice) combines
-    the stages over the partition's inter-group link, and the run-to-run
-    noise the flat simulator applies per stage is applied to the pipelined
-    iteration total.  A 1-stage plan reduces to the flat simulation of its
-    single program (whole batch, no transfers).
+    Every chunk program is profiled on its machine group with the full
+    overhead model (interleaved stages host several chunk programs; their
+    per-chunk profiles and true per-virtual-boundary bytes — wrap hops
+    included — are handed to the schedule), the plan's pipeline schedule
+    (GPipe, 1F1B or interleaved 1F1B, with the plan's microbatch count and
+    recomputation choice) combines the stages over the partition's
+    inter-group link, and the run-to-run noise the flat simulator applies
+    per stage is applied to the pipelined iteration total.  A 1-stage plan
+    reduces to the flat simulation of its single program (whole batch, no
+    transfers).
     """
     overheads = overheads or OverheadModel()
     stage_times: List[StageTimes] = []
     for stage in plan.stages:
         sim = ExecutionSimulator(stage.subcluster, overheads=overheads, seed=seed)
+        chunk_times: List[ChunkTimes] = []
+        fwd = bwd = sync = 0.0
+        for chunk in stage.chunks:
+            profile = sim.profile_program(
+                chunk.program,
+                chunk.ratios,
+                chunk.forward_nodes,
+                send_bytes=chunk.send_bytes,
+                activation_bytes=float(chunk.activation_bytes),
+                weight_bytes=chunk.weight_bytes_total(),
+            )
+            chunk_times.append(
+                ChunkTimes(
+                    forward=profile.forward,
+                    backward=profile.backward,
+                    send_bytes=float(chunk.send_bytes),
+                    activation_bytes=float(chunk.activation_bytes),
+                )
+            )
+            fwd += profile.forward
+            bwd += profile.backward
+            sync += profile.sync
         stage_times.append(
-            sim.profile_program(
-                stage.program,
-                stage.ratios,
-                stage.forward_nodes,
-                send_bytes=stage.send_bytes,
+            StageTimes(
+                forward=fwd,
+                backward=bwd,
+                sync=sync,
+                send_bytes=float(stage.send_bytes),
                 activation_bytes=float(stage.activation_bytes),
                 weight_bytes=stage.weight_bytes_total(),
+                chunks=tuple(chunk_times),
             )
         )
     network = plan.partition.inter_group_network

@@ -19,19 +19,31 @@ schedules sharing one fill/steady/drain dependency engine:
   ``s`` instead of ``m`` — which is what makes large microbatch counts
   feasible at all.
 * ``interleaved-1f1b`` — Megatron-LM's interleaved schedule: each stage hosts
-  ``v`` model chunks of ``1/v`` of its work, shrinking the warm-up bubble by
-  roughly ``v`` at the price of ``v`` times more boundary crossings.  The
-  warm-up depth follows Megatron's ``2*(s - i - 1) + (v - 1)*s`` formula
-  (the in-flight peak is one more).  The per-chunk boundary bytes
-  are approximated by the adjacent physical cut (wrap-around hops use the
-  mean interior boundary), since the planner only cuts the model ``s`` ways.
+  ``v`` model chunks of roughly ``1/v`` of its work, shrinking the warm-up
+  bubble by roughly ``v`` at the price of ``v`` times more boundary
+  crossings.  The warm-up depth follows Megatron's
+  ``2*(s - i - 1) + (v - 1)*s`` formula (the in-flight peak is one more).
 
-Every schedule reports per-stage **peak memory**: the maximum number of
-concurrently stashed microbatches observed during the dependency simulation,
-times the per-microbatch activation bytes, plus the stage's resident
-weight/optimizer-state bytes.  An optional activation-recomputation mode
-re-runs the forward before each backward (one extra forward per microbatch),
-shrinking the per-microbatch stash to the stage's boundary input.
+Each :class:`StageTimes` may carry **per-chunk profiles**
+(:class:`ChunkTimes`): real forward/backward times, boundary bytes and
+activation bytes for every model chunk resident on the stage, as produced by
+the hierarchical planner's per-chunk flat-HAP programs.  The dependency
+engine then times every virtual stage with its own chunk's numbers, and every
+virtual boundary — including the wrap-around hop from the last physical stage
+back to stage 0 between chunks — with the true bytes of that cut.  (Earlier
+revisions modelled chunks as ``v`` equal slices and faked the wrap hop with
+the mean interior boundary; that approximation is gone.)  When per-chunk
+profiles are absent the chunks fall back to equal slices of the stage
+aggregate and every hop of stage ``i`` — wrap hops included — carries the
+stage's own ``send_bytes``; exact interleaved estimates require real chunks.
+
+Every schedule reports per-stage **peak memory**: the peak bytes of the
+activation stash actually observed during the dependency simulation (each
+in-flight task stashes *its own chunk's* bytes, so unbalanced chunks are
+accounted exactly), plus the stage's resident weight/optimizer-state bytes.
+An optional activation-recomputation mode re-runs the forward before each
+backward (one extra forward per microbatch), shrinking the per-task stash to
+the chunk's boundary input.
 
 This module is deliberately free of imports from the rest of the package: it
 consumes plain per-stage timings (:class:`StageTimes`) that either the cost
@@ -46,12 +58,35 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 
 @dataclass(frozen=True)
+class ChunkTimes:
+    """Timing and memory of *one model chunk* of a stage, full mini-batch.
+
+    Attributes:
+        forward: forward time of the chunk program for the whole mini-batch
+            (scaled by ``1/num_microbatches`` per microbatch).
+        backward: backward (gradient) time for the whole mini-batch.
+        send_bytes: activation bytes this chunk hands to the **next virtual
+            stage** for the whole mini-batch — for a chunk on the last
+            physical stage that is the wrap-around hop back to physical
+            stage 0 (the backward pass returns gradients of the same size).
+        activation_bytes: forward activation bytes the chunk stashes for its
+            backward pass, for the whole mini-batch.
+    """
+
+    forward: float
+    backward: float
+    send_bytes: float = 0.0
+    activation_bytes: float = 0.0
+
+
+@dataclass(frozen=True)
 class StageTimes:
     """Timing and memory inputs of one pipeline stage, for the *full* mini-batch.
 
     Attributes:
         forward: forward time of the stage program for the whole mini-batch
-            (scaled by ``1/num_microbatches`` per microbatch).
+            (scaled by ``1/num_microbatches`` per microbatch), summed over
+            the stage's model chunks.
         backward: backward (gradient) time for the whole mini-batch.
         sync: once-per-iteration work — parameter collectives, gradient
             all-reduce and optimizer updates — paid after the stage drains.
@@ -60,9 +95,13 @@ class StageTimes:
             same size).
         activation_bytes: forward activation bytes the stage must stash for
             its backward pass, for the whole mini-batch (each in-flight
-            microbatch holds ``1/num_microbatches`` of this).
+            microbatch holds one chunk's share of this).
         weight_bytes: resident parameter + gradient + optimizer-state bytes
             of the stage, independent of the schedule.
+        chunks: optional per-model-chunk profiles.  When an interleaved
+            schedule runs with ``v`` chunks, either every stage provides
+            exactly ``v`` :class:`ChunkTimes` (exact per-chunk simulation) or
+            none does (equal-slice fallback, see the module docstring).
     """
 
     forward: float
@@ -71,6 +110,7 @@ class StageTimes:
     send_bytes: float = 0.0
     activation_bytes: float = 0.0
     weight_bytes: float = 0.0
+    chunks: Optional[Tuple[ChunkTimes, ...]] = None
 
     @property
     def total(self) -> float:
@@ -92,11 +132,14 @@ class ScheduleResult:
         bubble_fraction: ``bubble / total`` (0 for a single stage).
         transfer: total activation+gradient transfer seconds on the critical
             path accounting (sum over boundaries and microbatches).
-        peak_inflight: per-stage maximum number of microbatches whose
-            activations (or boundary stashes under recomputation) were alive
-            at once during the simulated iteration.
-        peak_memory: per-stage peak bytes — ``weight_bytes`` plus the
-            activation stash at the in-flight peak (see module docstring).
+        peak_inflight: per-stage maximum number of in-flight tasks
+            (microbatch x chunk forwards without a matching backward yet)
+            observed during the simulated iteration.
+        peak_stash: per-stage peak bytes of the activation stash alone —
+            every in-flight task contributes its own chunk's per-microbatch
+            activation bytes (or boundary-input bytes under recomputation,
+            plus the chunk being rematerialised during its backward).
+        peak_memory: per-stage peak bytes — ``weight_bytes + peak_stash``.
         recompute: whether activation recomputation was modelled.
         num_model_chunks: model chunks per stage (1 unless interleaved).
     """
@@ -110,6 +153,7 @@ class ScheduleResult:
     bubble_fraction: float = 0.0
     transfer: float = 0.0
     peak_inflight: List[int] = field(default_factory=list)
+    peak_stash: List[float] = field(default_factory=list)
     peak_memory: List[float] = field(default_factory=list)
     recompute: bool = False
     num_model_chunks: int = 1
@@ -119,32 +163,40 @@ class ScheduleResult:
 _Task = Tuple[str, int, int]
 
 
-def peak_stage_memory(
-    weight_bytes: float,
-    activation_bytes: float,
-    recv_bytes: float,
-    inflight: int,
-    num_microbatches: int,
-    num_chunks: int,
-    recompute: bool,
-) -> float:
-    """Peak resident bytes of one stage under a schedule's in-flight count.
+def _chunk_profiles(
+    stages: Sequence[StageTimes], num_chunks: int
+) -> List[Tuple[ChunkTimes, ...]]:
+    """Per-stage tuples of exactly ``num_chunks`` chunk profiles.
 
-    The single source of truth for the memory model: resident weight state
-    plus the activation stash at the in-flight peak.  Without recomputation
-    every in-flight microbatch holds one chunk's activations
-    (``activation_bytes / (m * v)``); with recomputation only the boundary
-    input (``recv_bytes / m``) stays per in-flight microbatch, plus one
-    chunk's activations being rematerialised during its backward.  The
-    planner calls this per device with ratio-weighted byte counts; the
-    schedule simulator calls it with group aggregates.
+    Stages carrying real per-chunk profiles must match the schedule's chunk
+    count exactly; a stage without profiles falls back to ``num_chunks``
+    equal slices of its aggregates, every slice sending the stage's own
+    ``send_bytes`` on its outgoing hop (wrap hops included — there is no
+    synthetic wrap boundary any more, so exact interleaved estimates need
+    real chunk data).
     """
-    m = max(1, num_microbatches)
-    v = max(1, num_chunks)
-    act_task = activation_bytes / (m * v)
-    if recompute:
-        return weight_bytes + inflight * (recv_bytes / m) + act_task
-    return weight_bytes + inflight * act_task
+    profiles: List[Tuple[ChunkTimes, ...]] = []
+    for i, st in enumerate(stages):
+        if st.chunks is not None:
+            if len(st.chunks) != num_chunks:
+                raise ValueError(
+                    f"stage {i} provides {len(st.chunks)} chunk profiles but the "
+                    f"schedule runs {num_chunks} model chunks per stage"
+                )
+            profiles.append(tuple(st.chunks))
+        else:
+            profiles.append(
+                tuple(
+                    ChunkTimes(
+                        forward=st.forward / num_chunks,
+                        backward=st.backward / num_chunks,
+                        send_bytes=st.send_bytes,
+                        activation_bytes=st.activation_bytes / num_chunks,
+                    )
+                    for _ in range(num_chunks)
+                )
+            )
+    return profiles
 
 
 def _validate_inputs(
@@ -195,14 +247,15 @@ class PipelineSchedule:
     ) -> ScheduleResult:
         """Simulate one pipelined iteration over the given stages.
 
-        Per-microbatch (and per-chunk) forward/backward times are the
-        full-batch times divided by ``num_microbatches * num_model_chunks``
-        plus a fixed ``microbatch_overhead`` (kernel-launch / scheduling cost
-        that does not shrink with the microbatch).  A transfer of
+        Per-microbatch forward/backward times of virtual stage ``k`` are its
+        chunk's full-batch times divided by ``num_microbatches`` plus a fixed
+        ``microbatch_overhead`` (kernel-launch / scheduling cost that does
+        not shrink with the microbatch).  A transfer of the producing chunk's
         ``send_bytes / num_microbatches`` over the inter-group link separates
-        adjacent stages in both directions.  With one stage and one
-        microbatch the schedule degenerates to ``forward + backward + sync``
-        — the flat SPMD time.
+        adjacent virtual stages in both directions — interleaved wrap hops
+        (physical ``s-1 -> 0``) carry their chunk's true boundary bytes.
+        With one stage and one microbatch the schedule degenerates to
+        ``forward + backward + sync`` — the flat SPMD time.
         """
         _validate_inputs(stages, num_microbatches, inter_group_bandwidth)
         s = len(stages)
@@ -210,25 +263,36 @@ class PipelineSchedule:
         v = self.num_model_chunks if s > 1 else 1
         self.validate(s, m)
         total_virtual = s * v
+        chunks = _chunk_profiles(stages, v)
 
-        fwd = [st.forward / (m * v) + microbatch_overhead for st in stages]
-        bwd = [st.backward / (m * v) + microbatch_overhead for st in stages]
+        def chunk_of(k: int) -> ChunkTimes:
+            return chunks[k % s][k // s]
+
+        fwd = [chunk_of(k).forward / m + microbatch_overhead for k in range(total_virtual)]
+        bwd = [chunk_of(k).backward / m + microbatch_overhead for k in range(total_virtual)]
         if recompute:
             # Gradient checkpointing: re-run the chunk forward before each
             # backward so only the boundary input has to stay resident.
             bwd = [b + f for b, f in zip(bwd, fwd)]
 
-        # Per-microbatch transfer time after virtual stage k (k -> k+1).  The
-        # interior hop (physical i -> i+1) carries the i-th cut's bytes; the
-        # interleaved wrap hop (physical s-1 -> 0, next chunk) is approximated
-        # with the mean interior boundary.
-        interior = [st.send_bytes for st in stages[:-1]]
-        wrap_bytes = (sum(interior) / len(interior)) if interior else 0.0
-        xfer: List[float] = []
-        for k in range(total_virtual - 1):
-            i = k % s
-            nbytes = interior[i] if i < s - 1 else wrap_bytes
-            xfer.append(inter_group_latency + (nbytes / m) / inter_group_bandwidth)
+        # Per-microbatch transfer time after virtual stage k (k -> k+1),
+        # carrying the producing chunk's boundary bytes.
+        xfer = [
+            inter_group_latency + (chunk_of(k).send_bytes / m) / inter_group_bandwidth
+            for k in range(total_virtual - 1)
+        ]
+
+        # Per-task stash bytes: without recomputation an in-flight task holds
+        # its chunk's activations; with recomputation only the chunk's
+        # boundary input (the previous virtual stage's send) stays, and the
+        # chunk's activations are transiently rematerialised in its backward.
+        def act_task(k: int) -> float:
+            return chunk_of(k).activation_bytes / m
+
+        def recv_task(k: int) -> float:
+            return chunk_of(k - 1).send_bytes / m if k > 0 else 0.0
+
+        stash_task = recv_task if recompute else act_task
 
         orders = self.task_orders(s, m, v)
         finish_f: Dict[Tuple[int, int], float] = {}
@@ -237,6 +301,8 @@ class PipelineSchedule:
         busy = [0.0] * s
         inflight = [0] * s
         peak_inflight = [1 if m > 0 else 0 for _ in range(s)]
+        stash = [0.0] * s
+        peak_stash = [0.0] * s
         remaining = sum(len(o) for o in orders)
 
         def _ready_time(phys: int, task: _Task) -> Optional[float]:
@@ -275,36 +341,35 @@ class PipelineSchedule:
             start, i, (kind, chunk, j) = best
             k = chunk * s + i
             if kind == "F":
-                end = start + fwd[i]
+                end = start + fwd[k]
                 finish_f[(k, j)] = end
                 inflight[i] += 1
                 peak_inflight[i] = max(peak_inflight[i], inflight[i])
+                stash[i] += stash_task(k)
+                peak_stash[i] = max(peak_stash[i], stash[i])
             else:
-                end = start + bwd[i]
+                end = start + bwd[k]
                 finish_b[(k, j)] = end
                 inflight[i] -= 1
+                if recompute:
+                    # The chunk's activations live again while its backward
+                    # rematerialises them on top of the boundary stashes.
+                    peak_stash[i] = max(peak_stash[i], stash[i] + act_task(k))
+                stash[i] -= stash_task(k)
             busy[i] = end
             heads[i] += 1
             remaining -= 1
 
         stage_finish = [busy[i] + stages[i].sync for i in range(s)]
         total = max(stage_finish)
-        stage_busy = [m * v * (fwd[i] + bwd[i]) + stages[i].sync for i in range(s)]
+        stage_busy = [
+            m * sum(fwd[c * s + i] + bwd[c * s + i] for c in range(v)) + stages[i].sync
+            for i in range(s)
+        ]
         bubble = sum(max(total - b, 0.0) for b in stage_busy) / s
         transfer = 2.0 * m * sum(xfer) if s > 1 else 0.0
 
-        peak_memory = [
-            peak_stage_memory(
-                weight_bytes=st.weight_bytes,
-                activation_bytes=st.activation_bytes,
-                recv_bytes=stages[i - 1].send_bytes if i > 0 else 0.0,
-                inflight=peak_inflight[i],
-                num_microbatches=m,
-                num_chunks=v,
-                recompute=recompute,
-            )
-            for i, st in enumerate(stages)
-        ]
+        peak_memory = [st.weight_bytes + peak_stash[i] for i, st in enumerate(stages)]
 
         return ScheduleResult(
             total=total,
@@ -316,6 +381,7 @@ class PipelineSchedule:
             bubble_fraction=bubble / total if total > 0 else 0.0,
             transfer=transfer,
             peak_inflight=peak_inflight,
+            peak_stash=list(peak_stash),
             peak_memory=peak_memory,
             recompute=recompute,
             num_model_chunks=v,
@@ -371,7 +437,10 @@ class InterleavedOneFOneBSchedule(PipelineSchedule):
         self.num_model_chunks = num_model_chunks
 
     def validate(self, s: int, m: int) -> None:
-        if s > 1 and m % s != 0:
+        # Megatron's grouped microbatch enumeration needs m % s == 0; with a
+        # single chunk the schedule *is* plain 1F1B (see task_orders), which
+        # runs any microbatch count.
+        if self.num_model_chunks > 1 and s > 1 and m % s != 0:
             raise ValueError(
                 f"interleaved-1f1b needs num_microbatches divisible by the "
                 f"stage count (got m={m}, s={s})"
@@ -391,6 +460,13 @@ class InterleavedOneFOneBSchedule(PipelineSchedule):
         return pairs
 
     def task_orders(self, s: int, m: int, v: int) -> List[List[_Task]]:
+        if v == 1:
+            # One chunk per stage is exactly plain 1F1B; emit its task order
+            # (Megatron's 2*(s - i - 1) warm-up depth is an artefact of the
+            # grouped enumeration and would stash twice as much) so that the
+            # degenerate case reduces to the 1F1B path instead of a deeper
+            # lookalike.
+            return OneFOneBSchedule().task_orders(s, m, v)
         orders: List[List[_Task]] = []
         for i in range(s):
             fs = self._enumerate(s, m, v, forward=True)
@@ -436,7 +512,9 @@ def simulate_pipeline(
     """Simulate one pipelined iteration (GPipe by default, for compatibility).
 
     Args:
-        stages: per-stage full-batch timings and memory inputs.
+        stages: per-stage full-batch timings and memory inputs; attach
+            :class:`ChunkTimes` profiles (``StageTimes.chunks``) for exact
+            per-chunk interleaved simulation.
         num_microbatches: microbatches per iteration.
         inter_group_bandwidth: point-to-point bytes/s between adjacent stages;
             must be positive when there is more than one stage.

@@ -74,6 +74,24 @@ class TestLoadBalancer:
         assert result.num_segments >= 1
         assert len(result.ratios) == result.num_segments
 
+    def test_ratios_for_segment_rejects_out_of_range_indices(self, dp_setup):
+        # Regression: ratios_for_segment used to clamp the index to the last
+        # segment, silently reusing its ratios when a caller's segmentation
+        # disagreed with the solved one — a planner bug class that must
+        # surface loudly instead.  (In-repo callers were audited: the flat
+        # single-segment path goes through flat_ratios.)
+        training, program, cost_model, cluster = dp_setup
+        segments = segment_graph(training, 2)
+        segment_of = {name: i for i, seg in enumerate(segments) for name in seg}
+        config = LoadBalancerConfig(num_segments=2)
+        result = LoadBalancer(cluster, config).optimize(program, cost_model, segment_of)
+        for seg in range(result.num_segments):
+            assert result.ratios_for_segment(seg) == result.ratios[seg]
+        with pytest.raises(ValueError, match="out of range"):
+            result.ratios_for_segment(result.num_segments)
+        with pytest.raises(ValueError, match="out of range"):
+            result.ratios_for_segment(-1)
+
     def test_memory_constraints_do_not_break_lp(self, dp_setup):
         _, program, cost_model, cluster = dp_setup
         config = LoadBalancerConfig(respect_memory=True)
