@@ -17,6 +17,13 @@ cost regressions and plan-quality drifts are both visible:
   model chunks and run flat HAP per chunk — the per-chunk planning cost that
   the ``--max-planning-seconds`` guard keeps in check.
 
+The ``hetero-bandwidth`` entry doubles as the **overlap testbed**: the chosen
+plan's measured stage profiles are re-simulated per schedule with blocking
+(``overlap=0``) and with the cluster's default overlap efficiency, recording
+exposed-vs-hidden boundary-transfer seconds into the report (``overlap`` key)
+so drifts in how much communication the dual-stream schedules hide are
+visible next to the planning-cost numbers.
+
 Usage::
 
     PYTHONPATH=src python -m benchmarks.bench_pipeline            # default
@@ -44,8 +51,53 @@ from repro.cluster.device import DeviceType
 from repro.core import HierarchicalConfig
 from repro.hap import hap_pipeline
 from repro.models import BenchmarkScale, build_model
+from repro.simulator import simulate_hierarchical, simulate_pipeline
 
 from .conftest import bench_planner
+
+
+def _overlap_record(plan) -> Dict[str, object]:
+    """Exposed-vs-hidden boundary transfer per schedule for one plan.
+
+    Re-simulates the plan's measured stage profiles under every
+    single-chunk schedule, blocking vs the plan's overlap efficiency.  The
+    blocking baseline is profiled with ``overlap=0`` end to end — chunk
+    collectives *and* boundary transfers serialized — so the recorded gap
+    is the full dual-stream win, not just the boundary-transfer part.
+    """
+    blocking_profiles = simulate_hierarchical(plan, iterations=1, overlap=0.0).stage_times
+    overlap_profiles = simulate_hierarchical(plan, iterations=1).stage_times
+    network = plan.partition.inter_group_network
+    schedules: Dict[str, object] = {}
+    for name in ("gpipe", "1f1b"):
+        kwargs = dict(
+            num_microbatches=plan.num_microbatches,
+            inter_group_bandwidth=network.bandwidth,
+            inter_group_latency=network.latency,
+            microbatch_overhead=plan.microbatch_overhead,
+            schedule=name,
+            num_model_chunks=1,
+        )
+        try:
+            blocking = simulate_pipeline(blocking_profiles, overlap=0.0, **kwargs)
+            overlapped = simulate_pipeline(
+                overlap_profiles, overlap=plan.overlap, **kwargs
+            )
+        except ValueError:
+            continue  # schedule cannot run this configuration
+        schedules[name] = {
+            "blocking_ms": blocking.total * 1e3,
+            "overlapped_ms": overlapped.total * 1e3,
+            "transfer_ms": overlapped.transfer * 1e3,
+            "exposed_transfer_ms": overlapped.exposed_transfer * 1e3,
+            "hidden_transfer_ms": overlapped.hidden_transfer * 1e3,
+            "hidden_fraction": (
+                overlapped.hidden_transfer / overlapped.transfer
+                if overlapped.transfer
+                else 0.0
+            ),
+        }
+    return {"efficiency": plan.overlap, "schedules": schedules}
 
 
 def _memory_constrained_cluster(num_machines: int = 4) -> ClusterSpec:
@@ -132,9 +184,13 @@ def run_benchmark(fast: bool, beam: int, rounds: int) -> Dict[str, object]:
         start = time.perf_counter()
         plan = hap_pipeline(forward, cluster, config)
         planning_seconds = time.perf_counter() - start
+        overlap_record = None
+        if testbed["name"] == "hetero-bandwidth" and plan.num_stages > 1:
+            overlap_record = _overlap_record(plan)
         results.append(
             {
                 "testbed": testbed["name"],
+                "overlap": overlap_record,
                 "num_gpus": cluster.num_gpus,
                 "batch_per_device": scale.batch_per_device,
                 "planning_seconds": planning_seconds,
@@ -157,6 +213,13 @@ def run_benchmark(fast: bool, beam: int, rounds: int) -> Dict[str, object]:
             f"est {plan.estimated_time * 1e3:.1f} ms "
             f"({len(plan.schedule_candidate_times)} candidates)"
         )
+        if overlap_record:
+            for name, rec in overlap_record["schedules"].items():
+                print(
+                    f"{'':>20s}  overlap[{name}]: {rec['blocking_ms']:.1f} -> "
+                    f"{rec['overlapped_ms']:.1f} ms, hides "
+                    f"{rec['hidden_fraction'] * 100:.0f}% of transfer"
+                )
     return {
         "benchmark": "pipeline-schedule planning",
         "mode": "fast" if fast else "default",

@@ -2,8 +2,10 @@
 
 from .device import DEVICE_CATALOG, GB, DeviceType, Machine, VirtualDevice, device_type
 from .spec import (
+    DEFAULT_COMM_OVERLAP_EFFICIENCY,
     ClusterPartition,
     ClusterSpec,
+    CommOverlapModel,
     NetworkSpec,
     Subcluster,
     a100_p100_pair,
@@ -24,6 +26,8 @@ __all__ = [
     "device_type",
     "ClusterPartition",
     "ClusterSpec",
+    "CommOverlapModel",
+    "DEFAULT_COMM_OVERLAP_EFFICIENCY",
     "NetworkSpec",
     "Subcluster",
     "heterogeneous_testbed",

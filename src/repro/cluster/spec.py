@@ -14,6 +14,61 @@ from typing import Dict, List, Optional, Sequence
 from .device import GB, DeviceType, Machine, VirtualDevice, device_type
 
 
+#: Default fraction of a collective/transfer that hides behind independent
+#: compute when both streams have work.  Real stacks (NCCL on a dedicated
+#: stream, Megatron's overlapped pipeline sends) hide most but not all of a
+#: transfer — launch gaps, stream synchronisation and PCIe contention expose
+#: the rest.  Set a cluster's ``comm_overlap_efficiency`` to 0 to recover the
+#: fully serialized (pre-overlap) cost model everywhere.
+DEFAULT_COMM_OVERLAP_EFFICIENCY = 0.6
+
+
+@dataclass(frozen=True)
+class CommOverlapModel:
+    """How much communication hides behind independent compute (dual-stream).
+
+    Every device is modelled with a *compute stream* and a *communication
+    stream*.  A transfer of duration ``C`` that is independent of ``I``
+    seconds of concurrently available compute exposes only
+    ``C - efficiency * min(C, I)`` seconds on the critical path; the rest is
+    hidden behind the compute stream.  ``efficiency = 0`` reproduces the
+    fully blocking (additive) model bit-for-bit, ``efficiency = 1`` is a
+    perfect dual-stream timeline.
+
+    Attributes:
+        efficiency: fraction of the overlappable window actually hidden,
+            in ``[0, 1]``.
+    """
+
+    efficiency: float = DEFAULT_COMM_OVERLAP_EFFICIENCY
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.efficiency <= 1.0:
+            raise ValueError(
+                f"overlap efficiency must be in [0, 1], got {self.efficiency!r}"
+            )
+
+    @classmethod
+    def from_cluster(cls, cluster) -> "CommOverlapModel":
+        """The overlap model a cluster's software stack achieves."""
+        return cls(efficiency=getattr(
+            cluster, "comm_overlap_efficiency", DEFAULT_COMM_OVERLAP_EFFICIENCY
+        ))
+
+    @classmethod
+    def disabled(cls) -> "CommOverlapModel":
+        """Fully serialized streams (the pre-overlap blocking model)."""
+        return cls(efficiency=0.0)
+
+    def hidden(self, comm_time: float, independent_compute: float) -> float:
+        """Seconds of ``comm_time`` hidden behind ``independent_compute``."""
+        return self.efficiency * min(comm_time, max(independent_compute, 0.0))
+
+    def exposed(self, comm_time: float, independent_compute: float) -> float:
+        """Seconds of ``comm_time`` left on the critical path."""
+        return comm_time - self.hidden(comm_time, independent_compute)
+
+
 @dataclass(frozen=True)
 class NetworkSpec:
     """Flat inter-machine network model.
@@ -45,6 +100,10 @@ class ClusterSpec:
             context).  The hierarchical planner's schedule-aware memory
             checks use :meth:`device_memory`, so reserving headroom here
             tightens every out-of-memory decision consistently.
+        comm_overlap_efficiency: fraction of communication the cluster's
+            software stack hides behind independent compute (dedicated
+            communication streams); see :class:`CommOverlapModel`.  0 means
+            collectives and compute serialize fully.
     """
 
     def __init__(
@@ -54,6 +113,7 @@ class ClusterSpec:
         group_by_machine: bool = True,
         name: str = "cluster",
         memory_reserve_fraction: float = 0.0,
+        comm_overlap_efficiency: float = DEFAULT_COMM_OVERLAP_EFFICIENCY,
     ) -> None:
         if not machines:
             raise ValueError("a cluster needs at least one machine")
@@ -61,11 +121,14 @@ class ClusterSpec:
             raise ValueError(
                 f"memory_reserve_fraction must be in [0, 1), got {memory_reserve_fraction!r}"
             )
+        # CommOverlapModel owns the [0, 1] validation of overlap efficiencies.
+        CommOverlapModel(efficiency=comm_overlap_efficiency)
         self.machines: List[Machine] = list(machines)
         self.network = network or NetworkSpec()
         self.group_by_machine = group_by_machine
         self.name = name
         self.memory_reserve_fraction = memory_reserve_fraction
+        self.comm_overlap_efficiency = comm_overlap_efficiency
         self._virtual_devices = self._build_virtual_devices()
 
     def _build_virtual_devices(self) -> List[VirtualDevice]:
@@ -143,6 +206,7 @@ class ClusterSpec:
             group_by_machine=self.group_by_machine,
             name=name or f"{self.name}[:{num_machines}]",
             memory_reserve_fraction=self.memory_reserve_fraction,
+            comm_overlap_efficiency=self.comm_overlap_efficiency,
         )
 
     # -- hierarchical partitioning ---------------------------------------------
@@ -188,6 +252,7 @@ class ClusterSpec:
                     group_index=idx,
                     machine_offset=start,
                     memory_reserve_fraction=self.memory_reserve_fraction,
+                    comm_overlap_efficiency=self.comm_overlap_efficiency,
                 )
             )
             start = end
@@ -261,6 +326,7 @@ class Subcluster(ClusterSpec):
         group_index: int = 0,
         machine_offset: int = 0,
         memory_reserve_fraction: float = 0.0,
+        comm_overlap_efficiency: float = DEFAULT_COMM_OVERLAP_EFFICIENCY,
     ) -> None:
         super().__init__(
             machines,
@@ -268,6 +334,7 @@ class Subcluster(ClusterSpec):
             group_by_machine=group_by_machine,
             name=name,
             memory_reserve_fraction=memory_reserve_fraction,
+            comm_overlap_efficiency=comm_overlap_efficiency,
         )
         self.parent = parent
         self.group_index = group_index

@@ -1,14 +1,28 @@
 """Linear cost model for distributed programs (Sec. 3.2 of the paper).
 
 A program is split into synchronisation stages; stage ``i`` costs
-``comm_i(B) + max_j comp_ij(B_j)``.  Per-device computation time is linear in
-the device's sharding ratio; communication time is linear in the *largest*
-ratio (padded collectives are bottlenecked by the largest shard).  The same
-model serves three purposes:
+``comm_i(B) + max_j comp_ij(B_j)`` when collectives and compute serialize.
+Per-device computation time is linear in the device's sharding ratio;
+communication time is linear in the *largest* ratio (padded collectives are
+bottlenecked by the largest shard).  The same model serves three purposes:
 
 * scoring candidate programs during A* synthesis,
 * evaluating ``t(Q, B)`` in the outer iterative optimisation, and
 * producing the linear coefficients consumed by the LP load balancer.
+
+Real stacks do not serialize: collectives run on a dedicated communication
+stream and hide behind the compute that does not consume their result
+(:class:`~repro.cluster.spec.CommOverlapModel`).  The dual-stream stage time
+is
+
+    ``max_j [ comp_j + comm - e * min(comm, indep_j) ]``
+
+where ``indep_j`` is device ``j``'s compute in the stage that does *not*
+(transitively) depend on the stage's collective output
+(:meth:`~repro.core.program.Stage.dependent_mask`) and ``e`` is the overlap
+efficiency.  ``e = 0`` reduces to the serialized sum bit-for-bit.  The model
+is still piecewise linear in the ratios, so the LP load balancer optimises
+the same overlapped objective.
 """
 
 from __future__ import annotations
@@ -16,19 +30,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..cluster.spec import ClusterSpec
+from ..cluster.spec import ClusterSpec, CommOverlapModel
 from ..collectives.cost import CollectiveCostModel, CollectiveKind
 from ..graph.graph import ComputationGraph
 from .instructions import CommInstruction, CompInstruction, Instruction
-from .program import DistributedProgram
+from .program import DistributedProgram, Stage
 
 
 @dataclass
 class StageCoefficients:
     """Linear description of one stage, used by the LP load balancer.
 
-    Stage time ``= comm_const + comm_slope * max_j(B_j)
-    + max_j (comp_slope[j] * B_j + comp_const[j])``.
+    Serialized stage time ``= comm_const + comm_slope * max_j(B_j)
+    + max_j (comp_slope[j] * B_j + comp_const[j])``; the dual-stream time
+    subtracts the hidden fraction of the communication (see :meth:`time`).
 
     Attributes:
         segment: index of the model segment this stage belongs to.
@@ -36,6 +51,9 @@ class StageCoefficients:
         comm_slope: communication time per unit of the largest ratio.
         comp_slope: per-device computation seconds per unit sharding ratio.
         comp_const: per-device computation seconds independent of the ratio.
+        indep_slope: per-device seconds-per-ratio of the compute that does
+            not depend on the stage's collective (the overlap window).
+        indep_const: ratio-independent part of the overlap window.
     """
 
     segment: int
@@ -43,22 +61,62 @@ class StageCoefficients:
     comm_slope: float
     comp_slope: List[float]
     comp_const: List[float]
+    indep_slope: List[float] = field(default_factory=list)
+    indep_const: List[float] = field(default_factory=list)
 
-    def time(self, ratios: Sequence[float]) -> float:
-        """Evaluate the stage time for concrete sharding ratios."""
-        comm = self.comm_const + self.comm_slope * max(ratios)
-        comp = max(s * r + c for s, r, c in zip(self.comp_slope, ratios, self.comp_const))
-        return comm + comp
+    def comm_time(self, ratios: Sequence[float]) -> float:
+        return self.comm_const + self.comm_slope * max(ratios)
+
+    def comp_time(self, ratios: Sequence[float]) -> float:
+        return max(
+            s * r + c for s, r, c in zip(self.comp_slope, ratios, self.comp_const)
+        )
+
+    def exposed_comm(
+        self, ratios: Sequence[float], overlap: float, comm: float, comp: float
+    ) -> float:
+        """Exposed collective seconds given precomputed ``comm``/``comp``.
+
+        With ``overlap == 0`` the whole collective serializes; otherwise the
+        stage wall is ``max_j(comp_j + comm - overlap * min(comm, indep_j))``
+        and the exposure is whatever it adds on top of the compute wall.
+        """
+        if overlap == 0.0:
+            return comm  # serialized: bit-for-bit the pre-overlap model
+        indep_slope = self.indep_slope or [0.0] * len(self.comp_slope)
+        indep_const = self.indep_const or [0.0] * len(self.comp_const)
+        stage = max(
+            s * r + c + comm - overlap * min(comm, max(i_s * r + i_c, 0.0))
+            for s, r, c, i_s, i_c in zip(
+                self.comp_slope, ratios, self.comp_const, indep_slope, indep_const
+            )
+        )
+        return stage - comp
+
+    def time(self, ratios: Sequence[float], overlap: float = 0.0) -> float:
+        """Stage time for concrete sharding ratios and overlap efficiency."""
+        comm = self.comm_time(ratios)
+        comp = self.comp_time(ratios)
+        return comp + self.exposed_comm(ratios, overlap, comm, comp)
 
 
 @dataclass
 class CostBreakdown:
-    """Estimated per-iteration time of a program, with per-stage detail."""
+    """Estimated per-iteration time of a program, with per-stage detail.
+
+    ``communication`` is the raw collective seconds;
+    ``exposed_communication`` is the part left on the critical path after
+    overlapping with independent compute (equal to ``communication`` when
+    the overlap efficiency is 0), and ``total = computation +
+    exposed_communication``.
+    """
 
     total: float
     communication: float
     computation: float
     stage_times: List[float] = field(default_factory=list)
+    exposed_communication: float = 0.0
+    hidden_communication: float = 0.0
 
     def __float__(self) -> float:  # pragma: no cover - convenience
         return self.total
@@ -75,13 +133,27 @@ class CostModel:
             same rule is applied to thousands of partial programs under the
             same sharding ratios, so the hit rate is very high; the cached
             values are exactly what the uncached path computes.
+        overlap: communication/computation overlap efficiency used by
+            :meth:`evaluate` and :meth:`phase_profile`; defaults to the
+            cluster's ``comm_overlap_efficiency``.  Pass 0.0 for the fully
+            serialized (blocking) model.
     """
 
     def __init__(
-        self, graph: ComputationGraph, cluster: ClusterSpec, memoize: bool = True
+        self,
+        graph: ComputationGraph,
+        cluster: ClusterSpec,
+        memoize: bool = True,
+        overlap: Optional[float] = None,
     ) -> None:
         self.graph = graph
         self.cluster = cluster
+        self.overlap_model = (
+            CommOverlapModel.from_cluster(cluster)
+            if overlap is None
+            else CommOverlapModel(efficiency=overlap)
+        )
+        self.overlap = self.overlap_model.efficiency
         self.devices = cluster.virtual_devices
         self.num_devices = cluster.num_devices
         self.collectives = CollectiveCostModel(cluster)
@@ -173,8 +245,9 @@ class CostModel:
         ratios: Sequence[float],
         ratios_per_segment: Optional[Mapping[int, Sequence[float]]] = None,
         segment_of: Optional[Mapping[str, int]] = None,
+        overlap: Optional[float] = None,
     ) -> CostBreakdown:
-        """Estimated per-iteration time ``t(Q, B)``.
+        """Estimated per-iteration time ``t(Q, B)`` on the dual-stream model.
 
         Args:
             program: the distributed program.
@@ -183,26 +256,32 @@ class CostModel:
                 ``ratios`` for stages assigned to that segment.
             segment_of: node-name -> segment-index map (required when
                 ``ratios_per_segment`` is given).
+            overlap: overlap efficiency overriding the model's default
+                (``self.overlap``); 0.0 gives the serialized estimate.
         """
+        e = self.overlap if overlap is None else overlap
         total_comm = 0.0
         total_comp = 0.0
+        total_exposed = 0.0
         stage_times: List[float] = []
         for coeff in self.stage_coefficients(program, segment_of):
             seg_ratios = list(ratios)
             if ratios_per_segment is not None and coeff.segment in ratios_per_segment:
                 seg_ratios = list(ratios_per_segment[coeff.segment])
-            comm = coeff.comm_const + coeff.comm_slope * max(seg_ratios)
-            comp = max(
-                s * r + c for s, r, c in zip(coeff.comp_slope, seg_ratios, coeff.comp_const)
-            )
+            comm = coeff.comm_time(seg_ratios)
+            comp = coeff.comp_time(seg_ratios)
+            exposed = coeff.exposed_comm(seg_ratios, e, comm, comp)
             total_comm += comm
             total_comp += comp
-            stage_times.append(comm + comp)
+            total_exposed += exposed
+            stage_times.append(comp + exposed)
         return CostBreakdown(
-            total=total_comm + total_comp,
+            total=total_comp + total_exposed,
             communication=total_comm,
             computation=total_comp,
             stage_times=stage_times,
+            exposed_communication=total_exposed,
+            hidden_communication=total_comm - total_exposed,
         )
 
     def phase_profile(
@@ -213,6 +292,7 @@ class CostModel:
         comp_times_fn=None,
         comm_time_fn=None,
         per_stage_overhead: float = 0.0,
+        overlap: Optional[float] = None,
     ) -> Dict[str, float]:
         """Split a program's estimated time into pipeline phases.
 
@@ -226,32 +306,75 @@ class CostModel:
         models through ``comp_times_fn`` / ``comm_time_fn`` so planner
         estimates and simulator measurements share one decomposition.
 
+        With a non-zero overlap efficiency the part of each stage's
+        collective that hides behind the stage's own *independent* compute
+        (:meth:`~repro.core.program.Stage.dependent_mask`) is subtracted
+        from the collective's phase bucket, so downstream consumers (the
+        pipeline-schedule search, :func:`simulate_hierarchical`) price
+        stages by their **exposed** communication.  The overlap window is
+        additionally scoped to compute of the **collective's own phase**:
+        in a pipelined iteration the forward/backward buckets are split
+        across microbatches and replayed in a different temporal region
+        than the once-per-iteration sync collectives, so a gradient
+        all-reduce may only hide behind other sync work (parameter updates,
+        independent collectives' consumers), never behind the full-batch
+        backward window it would overstate by the microbatch count.
+        ``overlap=0`` leaves every bucket exactly as the serialized model
+        computed it.
+
         Returns:
             ``{"forward": s, "backward": s, "sync": s}`` in seconds.
         """
         comp_times_fn = comp_times_fn or self.comp_times
         comm_time_fn = comm_time_fn or self.comm_time
+        e = self.overlap if overlap is None else overlap
         phases = program.instruction_phases(forward_nodes)
         phase_of = {id(instr): p for instr, p in zip(program.instructions, phases)}
         buckets: Dict[str, float] = {"forward": 0.0, "backward": 0.0, "sync": 0.0}
         m = self.num_devices
         for stage in program.stages():
             stage_phase = None
+            comm_t = 0.0
             if stage.comm is not None:
                 stage_phase = phase_of[id(stage.comm)]
-                buckets[stage_phase] += comm_time_fn(stage.comm, ratios)
+                comm_t = comm_time_fn(stage.comm, ratios)
+                buckets[stage_phase] += comm_t
             vectors: Dict[str, List[float]] = {}
-            for comp in stage.comps:
+            comm_phase = stage_phase
+            indep = [0.0] * m
+            dependent = stage.dependent_mask() if (e > 0.0 and comm_t > 0.0) else None
+            for idx, comp in enumerate(stage.comps):
                 if isinstance(comp, CommInstruction):
                     continue  # local slice pseudo-collective: no cost
                 phase = phase_of[id(comp)]
                 if stage_phase is None:
                     stage_phase = phase
                 vec = vectors.setdefault(phase, [0.0] * m)
-                for j, t in enumerate(comp_times_fn(comp, ratios)):
+                times = comp_times_fn(comp, ratios)
+                for j, t in enumerate(times):
                     vec[j] += t
+                if (
+                    dependent is not None
+                    and not dependent[idx]
+                    and phase == comm_phase
+                ):
+                    for j, t in enumerate(times):
+                        indep[j] += t
             for phase, vec in vectors.items():
                 buckets[phase] += max(vec)
+            if dependent is not None and comm_phase is not None:
+                # Hidden seconds on the critical path, computed like
+                # :meth:`evaluate` (serialized wall minus the per-device
+                # dual-stream wall) but against the collective's own phase
+                # bucket only — the window actually co-resident with it in a
+                # pipelined iteration.
+                window = vectors.get(comm_phase, [0.0] * m)
+                dual = max(
+                    d + comm_t - e * min(comm_t, i)
+                    for d, i in zip(window, indep)
+                )
+                hidden = max(window) + comm_t - dual
+                buckets[comm_phase] -= max(hidden, 0.0)
             buckets[stage_phase or "forward"] += per_stage_overhead
         return buckets
 
@@ -307,14 +430,20 @@ class CostModel:
                 comm_const, comm_slope = self.comm_linear(stage.comm)
             comp_slope = [0.0] * m
             comp_const = [0.0] * m
+            indep_slope = [0.0] * m
+            indep_const = [0.0] * m
             segment = 0
-            for comp in stage.comps:
+            dependent = stage.dependent_mask()
+            for idx, comp in enumerate(stage.comps):
                 if isinstance(comp, CommInstruction):
                     continue  # local slice pseudo-collectives cost ~nothing
                 slopes, consts = self.comp_linear(comp)
                 for j in range(m):
                     comp_slope[j] += slopes[j]
                     comp_const[j] += consts[j]
+                    if not dependent[idx]:
+                        indep_slope[j] += slopes[j]
+                        indep_const[j] += consts[j]
             if segment_of is not None:
                 nodes = [c.node for c in stage.comps]
                 if stage.comm is not None:
@@ -328,6 +457,8 @@ class CostModel:
                     comm_slope=comm_slope,
                     comp_slope=comp_slope,
                     comp_const=comp_const,
+                    indep_slope=indep_slope,
+                    indep_const=indep_const,
                 )
             )
         return coeffs

@@ -21,8 +21,13 @@ For every stage count the planner then searches jointly over the pipeline
 the **microbatch count** (snapped to divisors of the global batch) and the
 **activation-recomputation** knob, rejecting combinations whose per-device
 peak memory — in-flight microbatch activations plus resident
-parameter/gradient/optimizer state — exceeds the machine group's capacity
-from the :class:`~repro.cluster.device.DeviceType` specs.  The cheapest
+parameter/gradient/optimizer state (optionally ZeRO-sharded via
+``shard_optimizer_state``) — exceeds the machine group's capacity
+from the :class:`~repro.cluster.device.DeviceType` specs.  Candidates are
+priced with the dual-stream overlap model
+(:class:`~repro.cluster.spec.CommOverlapModel`): per-stage collectives and
+boundary transfers count only their **exposed** (non-hidden) part, so on
+slow networks overlap-friendly combinations can win.  The cheapest
 memory-feasible candidate wins.  One stage is always a candidate and
 reproduces flat HAP exactly, so flat planning is the degenerate case of
 hierarchical planning rather than a parallel code path.  This follows
@@ -38,7 +43,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..autodiff.backward import StageTrainingInfo, build_stage_training_graph
-from ..cluster.spec import ClusterPartition, ClusterSpec, NetworkSpec
+from ..cluster.spec import ClusterPartition, ClusterSpec, CommOverlapModel, NetworkSpec
 from ..graph.analysis import PipelineCut, interleaved_pipeline_cut
 from ..graph.graph import ComputationGraph, GraphError
 from ..graph.ops import OpKind
@@ -55,10 +60,16 @@ from .costmodel import CostModel
 from .pipeline import HAPPlan, HAPPlanner
 from .program import DistributedProgram
 
+#: Resident bytes per parameter byte: the parameter itself plus its gradient.
+PARAM_GRAD_FACTOR = 2.0
+#: Resident bytes per parameter byte held by the optimizer (one SGD moment).
+#: Under ZeRO-style optimizer-state sharding this part — and only this part —
+#: is partitioned across the data-parallel group.
+OPTIMIZER_MOMENT_FACTOR = 1.0
 #: Multiplier turning parameter bytes into resident state: the parameter, its
 #: gradient, and one optimizer moment (the same convention as
 #: :func:`repro.baselines.planners.estimate_memory_per_device`).
-OPTIMIZER_STATE_FACTOR = 3.0
+OPTIMIZER_STATE_FACTOR = PARAM_GRAD_FACTOR + OPTIMIZER_MOMENT_FACTOR
 
 
 @dataclass
@@ -92,6 +103,16 @@ class HierarchicalConfig:
         intra_group_network: network model inside each machine group; defaults
             to the cluster's own network.  Pass the fast rack-local network
             when the cluster's flat network is the slow inter-rack bottleneck.
+        overlap: communication/computation overlap efficiency used to price
+            candidates — the schedule search ranks combinations by their
+            *exposed* boundary-transfer and collective time.  ``None`` (the
+            default) takes the cluster's ``comm_overlap_efficiency``; pass
+            0.0 to rank with the fully blocking model.
+        shard_optimizer_state: ZeRO-style optimizer-state sharding in the
+            memory model: the optimizer-moment bytes of replicated parameters
+            are divided by the data-parallel group size in the per-device
+            peak-memory check (the paper's activation/parameter bytes are
+            untouched — only the resident optimizer state shrinks).
         planner: configuration of the flat HAP planner run per stage.
         lr: learning rate stored on the stage graphs' ``sgd_update`` nodes.
     """
@@ -105,6 +126,8 @@ class HierarchicalConfig:
     recompute: str = "auto"
     microbatch_overhead: float = 50e-6
     intra_group_network: Optional[NetworkSpec] = None
+    overlap: Optional[float] = None
+    shard_optimizer_state: bool = False
     planner: PlannerConfig = field(default_factory=PlannerConfig)
     lr: float = 0.01
 
@@ -113,6 +136,8 @@ class HierarchicalConfig:
             raise ValueError(
                 f"recompute must be 'never', 'always' or 'auto', got {self.recompute!r}"
             )
+        if self.overlap is not None:
+            CommOverlapModel(efficiency=self.overlap)  # fail fast on bad values
         for name in self.schedules or ():
             get_schedule(name)  # fail fast on typos
 
@@ -241,7 +266,9 @@ class StagePlan:
         """Group-aggregate resident parameter/gradient/optimizer bytes."""
         return sum(c.weight_bytes_total() for c in self.chunks)
 
-    def peak_device_memory(self, peak_stash: float) -> List[float]:
+    def peak_device_memory(
+        self, peak_stash: float, shard_optimizer_state: bool = False
+    ) -> List[float]:
         """Per-device peak bytes given the schedule's aggregate stash.
 
         ``peak_stash`` is the stage's group-aggregate activation-stash peak
@@ -250,13 +277,22 @@ class StagePlan:
         the stash — chunks may be balanced differently, so the device's worst
         chunk ratio bounds its share — on top of its resident parameter
         state.
+
+        With ``shard_optimizer_state`` (ZeRO-1 style) the optimizer-moment
+        bytes of *replicated* parameters are divided by the data-parallel
+        group size: each device keeps the full parameter and gradient but
+        only its ``1/n`` slice of the optimizer state.  Sharded parameters
+        already hold a ratio's worth of all three, so they are unchanged.
         """
         n = self.subcluster.num_devices
+        moment = (
+            OPTIMIZER_MOMENT_FACTOR / n if shard_optimizer_state else OPTIMIZER_MOMENT_FACTOR
+        )
         peaks: List[float] = []
         for j in range(n):
             weight = sum(
-                OPTIMIZER_STATE_FACTOR
-                * (c.replicated_param_bytes + c.sharded_param_bytes * c.ratios[j])
+                (PARAM_GRAD_FACTOR + moment) * c.replicated_param_bytes
+                + OPTIMIZER_STATE_FACTOR * c.sharded_param_bytes * c.ratios[j]
                 for c in self.chunks
             )
             share = max(c.ratios[j] for c in self.chunks)
@@ -291,6 +327,11 @@ class HierarchicalPlan:
         schedule_candidate_times: estimated time of every
             (stage count, schedule, microbatches, recompute) combination.
         batch_size: global mini-batch size (for runtime ratio snapping).
+        overlap: communication overlap efficiency the plan was priced with
+            (boundary transfers and per-stage collectives expose only their
+            non-hidden part).
+        shard_optimizer_state: whether the memory feasibility checks sharded
+            replicated parameters' optimizer moments ZeRO-style.
     """
 
     cluster: ClusterSpec
@@ -304,6 +345,8 @@ class HierarchicalPlan:
     num_model_chunks: int = 1
     recompute: bool = False
     fits_memory: bool = True
+    overlap: float = 0.0
+    shard_optimizer_state: bool = False
     peak_memory: List[float] = field(default_factory=list)
     stage_memory_capacity: List[float] = field(default_factory=list)
     stage_memory_utilization: List[float] = field(default_factory=list)
@@ -352,14 +395,21 @@ class HierarchicalPlan:
     def describe(self) -> str:
         """Readable plan summary (stages, groups, schedule estimate, memory)."""
         recompute = ", recompute" if self.recompute else ""
+        zero = ", ZeRO opt-state" if self.shard_optimizer_state else ""
         chunks = (
             f" x{self.num_model_chunks} chunks" if self.num_model_chunks > 1 else ""
         )
+        overlap_note = ""
+        if self.overlap > 0 and self.schedule.transfer > 0:
+            hidden_pct = 100.0 * self.schedule.hidden_transfer / self.schedule.transfer
+            overlap_note = (
+                f", overlap {self.overlap:.0%} hides {hidden_pct:.0f}% of transfers"
+            )
         lines = [
             f"Hierarchical plan on {self.cluster.name!r}: {self.num_stages} stage(s), "
             f"{self.schedule_name}{chunks} schedule, {self.num_microbatches} microbatches"
-            f"{recompute}, estimated {self.estimated_time * 1e3:.2f} ms/iteration "
-            f"(bubble {self.schedule.bubble_fraction * 100:.0f}%)"
+            f"{recompute}{zero}, estimated {self.estimated_time * 1e3:.2f} ms/iteration "
+            f"(bubble {self.schedule.bubble_fraction * 100:.0f}%{overlap_note})"
         ]
         if not self.fits_memory:
             lines.append("  WARNING: no memory-feasible candidate; best infeasible plan kept")
@@ -467,6 +517,11 @@ class HierarchicalPlanner:
         self.cluster = cluster
         self.config = config or HierarchicalConfig()
         self.batch_size = self._batch_size()
+        self.overlap = (
+            CommOverlapModel.from_cluster(cluster).efficiency
+            if self.config.overlap is None
+            else self.config.overlap
+        )
 
     def _batch_size(self) -> Optional[int]:
         leading = {
@@ -557,7 +612,16 @@ class HierarchicalPlanner:
             plan = HAPPlanner(
                 info.graph, partition.groups[stage_idx], self.config.planner
             ).plan()
-            send_bytes = sum(self.forward[ref].spec.size_bytes for ref in cut.cut_refs[k])
+            # Bytes the chunk's *outgoing hop* actually ships: every tensor in
+            # flight across virtual boundary k, including skip-connection
+            # tensors produced by earlier chunks that this hop merely relays
+            # (charging those only at their producer's hop under-priced every
+            # interior hop they cross).  The final virtual stage sends nothing.
+            send_bytes = (
+                sum(self.forward[ref].spec.size_bytes for ref in cut.crossing_refs(k))
+                if k < cut.num_stages - 1
+                else 0
+            )
             activation_bytes = sum(
                 info.graph[name].spec.size_bytes
                 for name in info.forward_nodes
@@ -633,7 +697,9 @@ class HierarchicalPlanner:
         cut, stages, _times = variants[win_chunks]
         utilization: List[float] = []
         for stage, stash in zip(stages, schedule.peak_stash):
-            peaks = stage.peak_device_memory(stash)
+            peaks = stage.peak_device_memory(
+                stash, shard_optimizer_state=self.config.shard_optimizer_state
+            )
             utilization.append(
                 max(
                     peak / cap
@@ -652,6 +718,8 @@ class HierarchicalPlanner:
             num_model_chunks=schedule.num_model_chunks,
             recompute=recompute,
             fits_memory=fits,
+            overlap=self.overlap,
+            shard_optimizer_state=self.config.shard_optimizer_state,
             peak_memory=list(schedule.peak_memory),
             stage_memory_capacity=[float(s.subcluster.total_memory()) for s in stages],
             stage_memory_utilization=utilization,
@@ -673,7 +741,9 @@ class HierarchicalPlanner:
             chunk_times: List[ChunkTimes] = []
             fwd = bwd = sync = 0.0
             for chunk in stage.chunks:
-                cost_model = CostModel(chunk.plan.program.graph, stage.subcluster)
+                cost_model = CostModel(
+                    chunk.plan.program.graph, stage.subcluster, overlap=self.overlap
+                )
                 buckets = cost_model.phase_profile(
                     chunk.plan.program, chunk.ratios, chunk.forward_nodes
                 )
@@ -707,7 +777,9 @@ class HierarchicalPlanner:
         """True when every device of every stage group fits its peak bytes."""
         for stage, stash in zip(stages, result.peak_stash):
             capacities = stage.subcluster.device_memory()
-            peaks = stage.peak_device_memory(stash)
+            peaks = stage.peak_device_memory(
+                stash, shard_optimizer_state=self.config.shard_optimizer_state
+            )
             if any(peak > cap for peak, cap in zip(peaks, capacities)):
                 return False
         return True
@@ -778,6 +850,7 @@ class HierarchicalPlanner:
                     schedule=name,
                     num_model_chunks=chunks,
                     recompute=rc,
+                    overlap=self.overlap,
                 )
                 fits = self._fits_memory(stages, result)
                 combo_times[(num_stages, name, m, rc)] = result.total

@@ -3,16 +3,23 @@
 Given a fixed distributed program ``Q``, the load balancer chooses the
 sharding ratios ``B`` that minimise the estimated per-iteration time.  Stage
 times are linear in the ratios (computation) and in the largest ratio
-(communication), so the problem
+(communication); with the dual-stream overlap model a stage's exposed
+communication is ``max((1 - e) * C, C - e * I_j)`` — a maximum of linear
+functions, so the overlapped stage time stays convex and the problem
 
-    min  sum_i [ comm_const_i + comm_slope_i * M_{k(i)} + T_i ]
-    s.t. T_i   >= comp_slope_ij * B_{k(i),j} + comp_const_ij   for all i, j
-         M_k   >= B_{k,j}                                      for all k, j
+    min  sum_i T_i
+    s.t. T_i >= comp_ij(B) + (1 - e) * comm_i(M)               for all i, j
+         T_i >= comp_ij(B) + comm_i(M) - e * indep_ij(B)       for all i, j
+         M_k >= B_{k,j}                                        for all k, j
          sum_j B_{k,j} = 1,  B >= 0
 
 is a linear program; we solve it with scipy's HiGHS backend (the paper uses
 CBC).  ``k(i)`` is the model segment a stage belongs to (Sec. 5.2); with a
-single segment this reduces to the base case of Sec. 5.1.
+single segment this reduces to the base case of Sec. 5.1, and with
+``e = 0`` both constraint families coincide with the paper's original
+serialized LP.  The overlap efficiency ``e`` is taken from the cost model
+(ultimately the cluster spec), so the LP and :meth:`CostModel.evaluate`
+optimise and score the same objective.
 """
 
 from __future__ import annotations
@@ -106,10 +113,10 @@ class LoadBalancer:
         fallback = [list(self.cluster.proportional_ratios()) for _ in range(num_segments)]
         if m == 1:
             return LoadBalanceResult([[1.0]] * num_segments, sum(
-                c.comm_const + c.comm_slope + c.comp_slope[0] + c.comp_const[0] for c in coeffs
+                c.time([1.0], overlap=cost_model.overlap) for c in coeffs
             ), True, num_segments)
 
-        result = self._solve_lp(coeffs, num_segments, program)
+        result = self._solve_lp(coeffs, num_segments, program, cost_model.overlap)
         if result is None:
             return LoadBalanceResult(fallback, float("inf"), False, num_segments)
         return result
@@ -120,6 +127,7 @@ class LoadBalancer:
         coeffs: Sequence[StageCoefficients],
         num_segments: int,
         program: DistributedProgram,
+        overlap: float = 0.0,
     ) -> Optional[LoadBalanceResult]:
         m = self.cluster.num_devices
         g = num_segments
@@ -127,7 +135,8 @@ class LoadBalancer:
         if num_stages == 0:
             return LoadBalanceResult([[1.0 / m] * m for _ in range(g)], 0.0, True, g)
 
-        # Variable layout: [B (g*m), M (g), T (num_stages)]
+        # Variable layout: [B (g*m), M (g), T (num_stages)].  T_i is the full
+        # (overlapped) stage time, communication included.
         num_vars = g * m + g + num_stages
 
         def b_idx(k: int, j: int) -> int:
@@ -140,23 +149,38 @@ class LoadBalancer:
             return g * m + g + i
 
         objective = np.zeros(num_vars)
-        constant = 0.0
-        for i, coeff in enumerate(coeffs):
-            constant += coeff.comm_const
-            objective[m_idx(coeff.segment)] += coeff.comm_slope
+        for i in range(num_stages):
             objective[t_idx(i)] += 1.0
 
         rows_ub: List[np.ndarray] = []
         rhs_ub: List[float] = []
-        # T_i >= comp_slope_ij * B_kj + comp_const_ij
+        # Per (stage, device): the exposed collective time is
+        # max((1 - e) * comm, comm - e * indep_j), so two rows bound T_i:
+        #   T_i >= comp_ij(B) + (1 - e) * comm_i(M)
+        #   T_i >= comp_ij(B) + comm_i(M) - e * indep_ij(B)
+        # With e == 0 they coincide with the serialized LP.
         for i, coeff in enumerate(coeffs):
             k = coeff.segment
+            indep_slope = coeff.indep_slope or [0.0] * m
+            indep_const = coeff.indep_const or [0.0] * m
             for j in range(m):
                 row = np.zeros(num_vars)
                 row[b_idx(k, j)] = coeff.comp_slope[j]
+                row[m_idx(k)] = (1.0 - overlap) * coeff.comm_slope
                 row[t_idx(i)] = -1.0
                 rows_ub.append(row)
-                rhs_ub.append(-coeff.comp_const[j])
+                rhs_ub.append(-coeff.comp_const[j] - (1.0 - overlap) * coeff.comm_const)
+                if overlap > 0.0:
+                    row = np.zeros(num_vars)
+                    row[b_idx(k, j)] = coeff.comp_slope[j] - overlap * indep_slope[j]
+                    row[m_idx(k)] = coeff.comm_slope
+                    row[t_idx(i)] = -1.0
+                    rows_ub.append(row)
+                    rhs_ub.append(
+                        -coeff.comp_const[j]
+                        - coeff.comm_const
+                        + overlap * indep_const[j]
+                    )
         # M_k >= B_kj
         for k in range(g):
             for j in range(m):
@@ -199,7 +223,7 @@ class LoadBalancer:
         ratios = [_normalise(r) for r in ratios]
         return LoadBalanceResult(
             ratios=ratios,
-            objective=float(res.fun + constant),
+            objective=float(res.fun),
             success=True,
             num_segments=g,
         )

@@ -36,6 +36,35 @@ class Stage:
         out.extend(self.comps)
         return out
 
+    def dependent_mask(self) -> List[bool]:
+        """Which ``comps`` (transitively) consume this stage's collective output.
+
+        The dual-stream timing model overlaps the stage's collective with the
+        compute that follows it *when that compute does not need the
+        collective's result* — e.g. a gradient all-reduce (sync phase, its
+        consumer is the optimizer update) runs on the communication stream
+        while the backward compute of earlier layers proceeds.  The mask is
+        exact reference-level dependency tracking within the stage: a comp is
+        dependent when any of its inputs is the collective's output or the
+        output of an already-dependent comp.  Without a collective every comp
+        is independent.
+        """
+        if self.comm is None:
+            return [False] * len(self.comps)
+        # Conservative reference-level taint: a comp touching the collective's
+        # tensor in *any* distribution state is treated as dependent.
+        mask: List[bool] = []
+        tainted = {self.comm.output.ref}
+        for comp in self.comps:
+            inputs = (
+                (comp.input,) if isinstance(comp, CommInstruction) else comp.inputs
+            )
+            depends = any(p.ref in tainted for p in inputs)
+            mask.append(depends)
+            if depends:
+                tainted.add(comp.output.ref)
+        return mask
+
 
 @dataclass
 class DistributedProgram:

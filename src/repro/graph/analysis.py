@@ -176,6 +176,51 @@ class PipelineCut:
                         break
         return incoming
 
+    def crossing_refs(self, boundary: int) -> List[str]:
+        """Tensors in flight across the boundary after stage ``boundary``.
+
+        A tensor crosses the boundary when its producer lives in stage
+        ``<= boundary`` and some consumer lives in a later stage — so a
+        skip-connection tensor spanning several stages appears at **every**
+        boundary it crosses, not just its producer's outgoing one.  This is
+        what each hop of the pipeline actually has to ship (and what
+        :func:`cut_transfer_bytes` charges per hop); :attr:`cut_refs` in
+        contrast lists each tensor once, at its producing stage (the
+        per-chunk boundary *outputs* used for differentiation and runtime
+        handoff).
+        """
+        if not 0 <= boundary < self.num_stages - 1:
+            raise ValueError(
+                f"boundary must be in [0, {self.num_stages - 2}], got {boundary}"
+            )
+        return [
+            ref
+            for ref, producer, last in self._ref_spans()
+            if producer <= boundary < last
+        ]
+
+    def _ref_spans(self) -> List[Tuple[str, int, int]]:
+        """(ref, producer stage, last consumer stage) per cut tensor, cached.
+
+        Computed once per cut so per-boundary queries are a range test
+        instead of re-deriving every ref's consumer stages (which would be
+        quadratic in the stage count for deep interleaved cuts).
+        """
+        cached = getattr(self, "_spans_cache", None)
+        if cached is None:
+            cached = []
+            for producer, refs in enumerate(self.cut_refs):
+                for ref in refs:
+                    consumer_stages = [
+                        self.stage_of[c]
+                        for c in self.consumers.get(ref, [])
+                        if c in self.stage_of
+                    ]
+                    if consumer_stages:
+                        cached.append((ref, producer, max(consumer_stages)))
+            object.__setattr__(self, "_spans_cache", cached)
+        return cached
+
 
 def _atomic_blocks(
     graph: ComputationGraph,
@@ -356,8 +401,20 @@ def pipeline_cut(
 
 
 def cut_transfer_bytes(graph: ComputationGraph, cut: PipelineCut) -> List[int]:
-    """Bytes of activations each stage sends to later stages (per boundary)."""
-    return [sum(graph[ref].spec.size_bytes for ref in refs) for refs in cut.cut_refs]
+    """Bytes each stage's outgoing hop actually carries, per boundary.
+
+    Entry ``i`` is the activation bytes crossing the boundary between stage
+    ``i`` and ``i + 1`` — every tensor whose producer is at or before the
+    boundary and whose last consumer is after it.  A skip-connection tensor
+    spanning several boundaries is charged once **per hop it crosses**
+    (earlier revisions charged all downstream bytes to the producing stage's
+    outgoing hop only, under-pricing the interior hops it relays through).
+    The final stage sends nothing, so the last entry is 0.
+    """
+    return [
+        sum(graph[ref].spec.size_bytes for ref in cut.crossing_refs(boundary))
+        for boundary in range(cut.num_stages - 1)
+    ] + [0]
 
 
 def interleaved_pipeline_cut(

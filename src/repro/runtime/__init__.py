@@ -2,6 +2,7 @@
 
 from .single import SingleDeviceExecutor, init_parameters, make_batch
 from .spmd import (
+    BoundaryChannel,
     HierarchicalExecutor,
     HierarchicalResult,
     SPMDExecutor,
@@ -14,6 +15,7 @@ __all__ = [
     "SingleDeviceExecutor",
     "init_parameters",
     "make_batch",
+    "BoundaryChannel",
     "SPMDExecutor",
     "SPMDResult",
     "run_plan",

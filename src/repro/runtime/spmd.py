@@ -408,6 +408,94 @@ def run_plan(
 # Hierarchical (pipeline-over-SPMD) execution
 # ---------------------------------------------------------------------------
 
+class BoundaryChannel:
+    """Double-buffered boundary handoff between pipeline tasks.
+
+    The emulation analogue of asynchronous sends on a stage's communication
+    stream: a task *issues* its boundary payload (activations downstream,
+    gradient contributions upstream) the moment it completes and immediately
+    frees its compute stream for the next task in its schedule order; the
+    receiving task *drains* the payloads of its microbatch when it starts.
+    Between issue and drain the payload is in flight — with a 1F1B steady
+    state the sender typically runs the compute for microbatch ``k + 1``
+    while microbatch ``k``'s output is still undelivered, which is exactly
+    the task order the schedule simulator times.
+
+    The channel records an event log (``("send"|"drain", kind, virtual_stage,
+    microbatch)``) and the peak number of simultaneously in-flight payloads,
+    so tests can assert the double-buffered ordering and the extra buffer
+    occupancy it costs.
+    """
+
+    def __init__(self) -> None:
+        #: microbatch -> ref -> activation payload awaiting delivery.
+        self._acts: Dict[int, Dict[str, np.ndarray]] = {}
+        #: microbatch -> ref -> list of gradient contributions awaiting
+        #: delivery (several downstream consumers may send for the same ref).
+        self._grads: Dict[int, Dict[str, List[np.ndarray]]] = {}
+        self.events: List[Tuple[str, str, int, int]] = []
+        self.inflight_payloads = 0
+        self.peak_inflight_payloads = 0
+
+    def send_activations(
+        self, virtual_stage: int, microbatch: int, payload: Mapping[str, np.ndarray]
+    ) -> None:
+        """Issue a forward task's boundary activations without blocking."""
+        store = self._acts.setdefault(microbatch, {})
+        for ref, value in payload.items():
+            store[ref] = value
+            self.inflight_payloads += 1
+        self.peak_inflight_payloads = max(
+            self.peak_inflight_payloads, self.inflight_payloads
+        )
+        self.events.append(("send", "act", virtual_stage, microbatch))
+
+    def send_gradients(
+        self, virtual_stage: int, microbatch: int, payload: Mapping[str, np.ndarray]
+    ) -> None:
+        """Issue a backward task's upstream gradient contributions."""
+        store = self._grads.setdefault(microbatch, {})
+        for ref, value in payload.items():
+            store.setdefault(ref, []).append(value)
+            self.inflight_payloads += 1
+        self.peak_inflight_payloads = max(
+            self.peak_inflight_payloads, self.inflight_payloads
+        )
+        self.events.append(("send", "grad", virtual_stage, microbatch))
+
+    def drain(
+        self,
+        virtual_stage: int,
+        microbatch: int,
+        activations: Dict[str, np.ndarray],
+        grads: Dict[str, np.ndarray],
+    ) -> None:
+        """Deliver every in-flight payload of ``microbatch`` to the consumer.
+
+        Gradient contributions for the same reference are summed on
+        delivery, mirroring the accumulation the blocking handoff performed
+        at send time.
+        """
+        acts = self._acts.pop(microbatch, None)
+        if acts:
+            self.inflight_payloads -= len(acts)
+            activations.update(acts)
+        pending = self._grads.pop(microbatch, None)
+        if pending:
+            for ref, contributions in pending.items():
+                self.inflight_payloads -= len(contributions)
+                total = contributions[0]
+                for extra in contributions[1:]:
+                    total = total + extra
+                grads[ref] = grads[ref] + total if ref in grads else total
+        self.events.append(("drain", "any", virtual_stage, microbatch))
+
+    @property
+    def drained(self) -> bool:
+        """True when nothing is left in flight (end-of-iteration invariant)."""
+        return not self._acts and not self._grads
+
+
 @dataclass
 class HierarchicalResult:
     """Result of one emulated iteration of a hierarchical plan.
@@ -485,6 +573,8 @@ class HierarchicalExecutor:
             SPMDExecutor(chunk.program, chunk.ratios, batch_hint=hint, batch_scale=scale)
             for chunk in self.chunks
         ]
+        #: Boundary channel of the most recent scheduled run (for inspection).
+        self.channel: Optional[BoundaryChannel] = None
 
     def _chunk_bindings(
         self,
@@ -574,8 +664,16 @@ class HierarchicalExecutor:
         micro_bindings: Mapping[str, np.ndarray],
         activations: Dict[str, np.ndarray],
         per_chunk_bytes: List[List[int]],
+        channel: Optional[BoundaryChannel] = None,
+        microbatch: int = 0,
     ) -> None:
-        """Run chunk ``k``'s forward up to its boundary and hand off."""
+        """Run chunk ``k``'s forward up to its boundary and issue the send.
+
+        With a :class:`BoundaryChannel` the boundary activations are issued
+        as an in-flight payload (the sender's next task may run before the
+        receiver drains it); without one they are delivered synchronously —
+        the blocking handoff of the whole-batch path.
+        """
         chunk = self.chunks[k]
         if not chunk.info.boundary_outputs:
             return  # final chunk: its forward is folded into the backward task
@@ -585,8 +683,11 @@ class HierarchicalExecutor:
             stop_after=chunk.info.boundary_outputs,
         )
         self._record_bytes(per_chunk_bytes, k, result.per_rank_bytes)
-        for ref in chunk.info.boundary_outputs:
-            activations[ref] = result.outputs[ref]
+        payload = {ref: result.outputs[ref] for ref in chunk.info.boundary_outputs}
+        if channel is not None:
+            channel.send_activations(k, microbatch, payload)
+        else:
+            activations.update(payload)
 
     def _backward_task(
         self,
@@ -597,13 +698,16 @@ class HierarchicalExecutor:
         gradients: Optional[Dict[str, np.ndarray]],
         outputs: Optional[Dict[str, np.ndarray]],
         per_chunk_bytes: List[List[int]],
+        channel: Optional[BoundaryChannel] = None,
+        microbatch: int = 0,
     ) -> Optional[float]:
         """Full run of chunk ``k`` with downstream gradient seeds bound.
 
         Accumulates per-parameter gradients into ``gradients`` (when
-        provided), exports upstream boundary gradients into ``grads`` and
+        provided), issues the upstream boundary gradients (through the
+        double-buffered ``channel`` when given, synchronously otherwise) and
         frees the chunk's own handoffs — once its backward ran, every
-        downstream consumer of this microbatch is already done.
+        downstream consumer of this microbatch is already done and drained.
         """
         chunk = self.chunks[k]
         executor = self.executors[k]
@@ -618,9 +722,16 @@ class HierarchicalExecutor:
                     gradients[param] = (
                         value if param not in gradients else gradients[param] + value
                     )
-        for ref, grad_node in chunk.info.grad_output_of.items():
-            contribution = result.outputs[grad_node]
-            grads[ref] = grads[ref] + contribution if ref in grads else contribution
+        upstream = {
+            ref: result.outputs[grad_node]
+            for ref, grad_node in chunk.info.grad_output_of.items()
+        }
+        if channel is not None:
+            if upstream:
+                channel.send_gradients(k, microbatch, upstream)
+        else:
+            for ref, contribution in upstream.items():
+                grads[ref] = grads[ref] + contribution if ref in grads else contribution
         if outputs is not None:
             outputs.update(result.outputs)
         for ref in chunk.info.boundary_outputs:
@@ -688,7 +799,12 @@ class HierarchicalExecutor:
         Tasks are executed one at a time; a stage's head task runs as soon
         as its dependencies are met (forward: upstream chunk forward done;
         backward: own forward and downstream backward done) — the same rules
-        the schedule simulator times, minus the clock.
+        the schedule simulator times, minus the clock.  Boundary handoff is
+        double-buffered through a :class:`BoundaryChannel`: a completed task
+        issues its send and its stage immediately proceeds to the next task
+        in its order, draining incoming payloads only when the consuming
+        task actually starts — the executed task order therefore matches the
+        asynchronous-transfer model the schedule simulator prices.
         """
         m = self.num_microbatches
         s = self.num_stages
@@ -710,6 +826,7 @@ class HierarchicalExecutor:
         last = len(self.chunks) - 1
         activations: List[Dict[str, np.ndarray]] = [{} for _ in range(m)]
         grads: List[Dict[str, np.ndarray]] = [{} for _ in range(m)]
+        channel = self.channel = BoundaryChannel()
         done_f: set = set()
         done_b: set = set()
         heads = [0] * s
@@ -726,8 +843,14 @@ class HierarchicalExecutor:
                     if kind == "F":
                         if k > 0 and (k - 1, j) not in done_f:
                             break
+                        channel.drain(k, j, activations[j], grads[j])
                         self._forward_task(
-                            k, micro_bindings[j], activations[j], per_chunk_bytes
+                            k,
+                            micro_bindings[j],
+                            activations[j],
+                            per_chunk_bytes,
+                            channel=channel,
+                            microbatch=j,
                         )
                         done_f.add((k, j))
                     else:
@@ -735,6 +858,7 @@ class HierarchicalExecutor:
                             k != last and (k + 1, j) not in done_b
                         ):
                             break
+                        channel.drain(k, j, activations[j], grads[j])
                         loss = self._backward_task(
                             k,
                             micro_bindings[j],
@@ -743,6 +867,8 @@ class HierarchicalExecutor:
                             grad_sums,
                             None,
                             per_chunk_bytes,
+                            channel=channel,
+                            microbatch=j,
                         )
                         if loss is not None:
                             loss_total = loss if loss_total is None else loss_total + loss
@@ -754,6 +880,7 @@ class HierarchicalExecutor:
                 raise GraphError(
                     f"pipeline task order deadlocked with {remaining} tasks left"
                 )
+        assert channel.drained, "boundary channel must be empty after the iteration"
 
         updated = self._apply_updates(bindings, grad_sums)
         # Per-iteration outputs: the updated parameters under their

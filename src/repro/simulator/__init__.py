@@ -1,5 +1,6 @@
 """Execution simulator: the reproduction's stand-in for running on GPUs."""
 
+from ..cluster.spec import DEFAULT_COMM_OVERLAP_EFFICIENCY, CommOverlapModel
 from .engine import (
     ExecutionSimulator,
     HierarchicalSimulationResult,
@@ -22,6 +23,8 @@ from .schedule import (
 )
 
 __all__ = [
+    "CommOverlapModel",
+    "DEFAULT_COMM_OVERLAP_EFFICIENCY",
     "ExecutionSimulator",
     "OverheadModel",
     "SimulationResult",

@@ -9,6 +9,21 @@ synchronisation penalty and multiplicative run-to-run noise.  As a result the
 planner's estimates systematically *under-estimate* the simulated time while
 remaining strongly linearly correlated with it — exactly the relationship the
 paper reports for its cost model in Fig. 18.
+
+Timing is **event-driven and dual-stream**: devices have a compute stream and
+a communication stream.  The replay runs two timelines — the fully serialized
+one (every sync stage costs ``comm + comp``) and the ideal dual-stream one,
+where each collective enters the communication stream as soon as its input
+tensor has been produced and only the compute that (transitively) consumes a
+collective's output waits for it.  On real synthesized programs this is what
+hides the gradient all-reduce tail behind the tail of the backward pass and
+the parameter updates behind later collectives.  The
+:class:`~repro.cluster.spec.CommOverlapModel` efficiency interpolates between
+the two timelines: 0 reproduces the additive model bit-for-bit, 1 is the
+perfect dual-stream execution; results report busy/idle/exposed-communication
+breakdowns per stream either way.  (The planner's cost model keeps the
+LP-expressible per-stage window approximation of the same idea — the
+simulator, as everywhere else, is the richer of the two.)
 """
 
 from __future__ import annotations
@@ -18,7 +33,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..cluster.spec import ClusterSpec
+from ..cluster.spec import ClusterSpec, CommOverlapModel
 from ..collectives.cost import CollectiveCostModel
 from ..core.costmodel import CostModel
 from ..core.instructions import CommInstruction, CompInstruction
@@ -51,7 +66,26 @@ class OverheadModel:
 
 @dataclass
 class SimulationResult:
-    """Per-iteration time observed on the simulated cluster."""
+    """Per-iteration time observed on the simulated cluster.
+
+    Attributes:
+        total: per-iteration wall-clock time,
+            ``computation + exposed_communication + overhead``.
+        communication: raw collective seconds (communication-stream busy).
+        computation: per-stage bottleneck compute seconds (compute stream).
+        overhead: per-stage framework/synchronisation overhead.
+        exposed_communication: collective seconds left on the critical path
+            after hiding behind independent compute; equals
+            ``communication`` when the overlap efficiency is 0.
+        hidden_communication: collective seconds overlapped with compute
+            (``communication - exposed_communication``).
+        stage_times: per-sync-stage wall-clock times of the last iteration.
+        per_device_busy: per-device compute-stream busy seconds.
+        per_device_comm_busy: per-device communication-stream busy seconds
+            (collectives involve every device for their full duration).
+        per_device_idle: per-device compute-stream idle seconds
+            (``total - busy``, floored at 0).
+    """
 
     total: float
     communication: float
@@ -59,6 +93,10 @@ class SimulationResult:
     overhead: float
     stage_times: List[float] = field(default_factory=list)
     per_device_busy: List[float] = field(default_factory=list)
+    exposed_communication: float = 0.0
+    hidden_communication: float = 0.0
+    per_device_comm_busy: List[float] = field(default_factory=list)
+    per_device_idle: List[float] = field(default_factory=list)
 
     @property
     def throughput_samples_per_second(self) -> float:
@@ -67,18 +105,34 @@ class SimulationResult:
 
 
 class ExecutionSimulator:
-    """Replays distributed programs on the modelled cluster."""
+    """Replays distributed programs on the modelled cluster.
+
+    Args:
+        cluster: the cluster model to replay on.
+        overheads: secondary-effect model (launch latencies, noise, ...).
+        seed: RNG seed for the run-to-run noise.
+        overlap: communication/computation overlap efficiency; ``None``
+            takes the cluster's ``comm_overlap_efficiency``, 0.0 forces the
+            serialized single-stream replay.
+    """
 
     def __init__(
         self,
         cluster: ClusterSpec,
         overheads: Optional[OverheadModel] = None,
         seed: int = 0,
+        overlap: Optional[float] = None,
     ) -> None:
         self.cluster = cluster
         self.overheads = overheads or OverheadModel()
         self.collectives = CollectiveCostModel(cluster)
         self.rng = np.random.default_rng(seed)
+        self.overlap_model = (
+            CommOverlapModel.from_cluster(cluster)
+            if overlap is None
+            else CommOverlapModel(efficiency=overlap)
+        )
+        self.overlap = self.overlap_model.efficiency
 
     # -- per-instruction times ------------------------------------------------------
     def _comp_time(
@@ -119,13 +173,17 @@ class ExecutionSimulator:
         program: DistributedProgram,
         ratios: Sequence[float],
     ):
-        """Yield ``(stage, comm_time, per_device_comp_times)`` per sync stage.
+        """Yield ``(stage, comm_time, per_device_comp, per_comp_times)``.
 
         This is the deterministic core of the simulator: every secondary
         effect (kernel launches, memory-bandwidth bounds, congestion) is
         applied, but run-to-run noise is left to the caller so the same
         replay can back both the noisy :meth:`simulate` and the
-        noise-free :meth:`profile_program`.
+        noise-free :meth:`profile_program`.  ``per_comp_times`` aligns with
+        ``stage.comps`` and holds each computation's per-device times
+        (``None`` for zero-cost local slice pseudo-collectives), so the
+        dual-stream event timeline can replay individual instructions
+        without re-pricing them.
         """
         m = self.cluster.num_devices
         for stage in program.stages():
@@ -133,12 +191,18 @@ class ExecutionSimulator:
             if stage.comm is not None:
                 comm = self._comm_time(cost_model, stage.comm, ratios)
             device_time = [0.0] * m
+            per_comp: List[Optional[List[float]]] = []
             for comp in stage.comps:
                 if isinstance(comp, CommInstruction):
-                    continue  # local slice pseudo-collective
-                for j in range(m):
-                    device_time[j] += self._comp_time(cost_model, comp, j, ratios[j])
-            yield stage, comm, device_time
+                    per_comp.append(None)  # local slice pseudo-collective
+                    continue
+                times = [
+                    self._comp_time(cost_model, comp, j, ratios[j]) for j in range(m)
+                ]
+                per_comp.append(times)
+                for j, t in enumerate(times):
+                    device_time[j] += t
+            yield stage, comm, device_time, per_comp
 
     # -- main entry point --------------------------------------------------------------
     def simulate(
@@ -154,38 +218,101 @@ class ExecutionSimulator:
             ratios: sharding ratios used for data/parameter partitioning.
             iterations: number of iterations to average over (noise reduction).
         """
-        cost_model = CostModel(program.graph, self.cluster)
+        cost_model = CostModel(program.graph, self.cluster, overlap=self.overlap)
+        e = self.overlap
         totals = []
-        comm_total = comp_total = overhead_total = 0.0
+        comm_total = comp_total = overhead_total = exposed_total = 0.0
         stage_times: List[float] = []
         busy = [0.0] * self.cluster.num_devices
         for _ in range(max(1, iterations)):
             iter_comm = iter_comp = iter_overhead = 0.0
-            iter_stages: List[float] = []
-            for _stage, comm, device_time in self._replay_stages(cost_model, program, ratios):
+            replay = []
+            for stage, comm, device_time, per_comp in self._replay_stages(
+                cost_model, program, ratios
+            ):
                 for j, t in enumerate(device_time):
                     busy[j] += t
                 noise = float(self.rng.normal(1.0, self.overheads.noise))
-                comp = max(device_time) * max(noise, 0.5)
-                stage_total = comm + comp + self.overheads.framework_per_stage
+                factor = max(noise, 0.5)
+                comp = max(device_time) * factor
+                replay.append((stage, comm, device_time, per_comp, factor, comp))
                 iter_comm += comm
                 iter_comp += comp
                 iter_overhead += self.overheads.framework_per_stage
-                iter_stages.append(stage_total)
-            totals.append(iter_comm + iter_comp + iter_overhead)
+            if e == 0.0:
+                iter_exposed = iter_comm
+            else:
+                hidden = iter_comp + iter_comm - self._ideal_dual_stream_time(replay)
+                iter_exposed = iter_comm - e * max(min(hidden, iter_comm), 0.0)
+            # Serialized stage walls, with the iteration's hidden seconds
+            # attributed to each stage's collective pro rata (the event
+            # timeline has no per-stage walls to report).
+            scale = iter_exposed / iter_comm if iter_comm > 0 else 1.0
+            iter_stages = [
+                comp + comm * scale + self.overheads.framework_per_stage
+                for _stage, comm, _dt, _pc, _f, comp in replay
+            ]
+            totals.append(iter_comp + iter_exposed + iter_overhead)
             comm_total += iter_comm
             comp_total += iter_comp
+            exposed_total += iter_exposed
             overhead_total += iter_overhead
             stage_times = iter_stages
         n = max(1, iterations)
+        total = float(np.mean(totals))
         return SimulationResult(
-            total=float(np.mean(totals)),
+            total=total,
             communication=comm_total / n,
             computation=comp_total / n,
             overhead=overhead_total / n,
             stage_times=stage_times,
             per_device_busy=[b / n for b in busy],
+            exposed_communication=exposed_total / n,
+            hidden_communication=(comm_total - exposed_total) / n,
+            per_device_comm_busy=[comm_total / n] * self.cluster.num_devices,
+            per_device_idle=[max(total - b / n, 0.0) for b in busy],
         )
+
+    def _ideal_dual_stream_time(self, replay) -> float:
+        """Length of the perfectly overlapped (dual-stream) event timeline.
+
+        Replays the program once with the compute stream and the
+        communication stream decoupled: a collective starts when the stream
+        is free and its input tensor has been produced; a computation starts
+        when the stream is free and every input it consumes — collective
+        outputs included — is available.  Everything runs on the critical
+        device of its stage (so the compute stream's busy time equals the
+        serialized replay's compute time exactly), reusing the per-comp
+        times and noise factors the serialized replay already produced; the
+        difference between the serialized total and this timeline is the
+        communication the dual-stream execution hides — gradient
+        all-reduces start mid-backward as their gradients appear, and
+        parameter updates run under later collectives.
+        """
+        t_comp = 0.0
+        t_comm = 0.0
+        finish: Dict[str, float] = {}
+        for stage, comm, device_time, per_comp, factor, _comp in replay:
+            crit = max(range(len(device_time)), key=device_time.__getitem__)
+            if stage.comm is not None:
+                ready = finish.get(stage.comm.input.ref, 0.0)
+                end_c = max(t_comm, ready) + comm
+                t_comm = end_c
+                finish[stage.comm.output.ref] = end_c
+            for comp_instr, times in zip(stage.comps, per_comp):
+                if times is None:
+                    # Local slice pseudo-collective: free, but its output
+                    # availability still follows its input's.
+                    finish[comp_instr.output.ref] = max(
+                        t_comp, finish.get(comp_instr.input.ref, 0.0)
+                    )
+                    continue
+                ready = max(
+                    (finish.get(p.ref, 0.0) for p in comp_instr.inputs), default=0.0
+                )
+                t_comp = max(t_comp, ready) + times[crit] * factor
+                finish[comp_instr.output.ref] = t_comp
+        return max(t_comp, t_comm)
 
     def profile_program(
         self,
@@ -202,9 +329,12 @@ class ExecutionSimulator:
         into the forward / backward / once-per-iteration-sync phases the
         pipeline-schedule simulator consumes, using the same per-instruction
         time models as :meth:`simulate` via
-        :meth:`~repro.core.costmodel.CostModel.phase_profile`.
+        :meth:`~repro.core.costmodel.CostModel.phase_profile`.  The phases
+        carry **exposed** communication: the part of each collective the
+        simulator's dual-stream replay hides behind independent compute is
+        subtracted from the collective's phase.
         """
-        cost_model = CostModel(program.graph, self.cluster)
+        cost_model = CostModel(program.graph, self.cluster, overlap=self.overlap)
         buckets = cost_model.phase_profile(
             program,
             ratios,
@@ -215,6 +345,7 @@ class ExecutionSimulator:
             ],
             comm_time_fn=lambda instr, r: self._comm_time(cost_model, instr, r),
             per_stage_overhead=self.overheads.framework_per_stage,
+            overlap=self.overlap,
         )
         return StageTimes(
             forward=buckets["forward"],
@@ -254,6 +385,7 @@ def simulate_hierarchical(
     iterations: int = 3,
     seed: int = 0,
     overheads: Optional[OverheadModel] = None,
+    overlap: Optional[float] = None,
 ) -> HierarchicalSimulationResult:
     """Simulate a :class:`~repro.core.hierarchical.HierarchicalPlan`.
 
@@ -263,15 +395,27 @@ def simulate_hierarchical(
     included — are handed to the schedule), the plan's pipeline schedule
     (GPipe, 1F1B or interleaved 1F1B, with the plan's microbatch count and
     recomputation choice) combines the stages over the partition's
-    inter-group link, and the run-to-run noise the flat simulator applies
-    per stage is applied to the pipelined iteration total.  A 1-stage plan
-    reduces to the flat simulation of its single program (whole batch, no
-    transfers).
+    inter-group link with the plan's communication-overlap efficiency
+    (boundary transfers expose only their non-hidden part), and the
+    run-to-run noise the flat simulator applies per stage is applied to the
+    pipelined iteration total.  A 1-stage plan reduces to the flat
+    simulation of its single program (whole batch, no transfers).
+
+    ``overlap`` overrides the plan's own overlap efficiency for the whole
+    simulation — chunk profiling and the schedule alike — so callers can
+    measure the fully blocking baseline of an overlap-priced plan
+    (``overlap=0.0``) or a what-if efficiency without replanning.
     """
     overheads = overheads or OverheadModel()
+    if overlap is None:
+        overlap = getattr(plan, "overlap", None)
+    if overlap is None:  # legacy plans: fall back to the cluster's default
+        overlap = CommOverlapModel.from_cluster(plan.cluster).efficiency
     stage_times: List[StageTimes] = []
     for stage in plan.stages:
-        sim = ExecutionSimulator(stage.subcluster, overheads=overheads, seed=seed)
+        sim = ExecutionSimulator(
+            stage.subcluster, overheads=overheads, seed=seed, overlap=overlap
+        )
         chunk_times: List[ChunkTimes] = []
         fwd = bwd = sync = 0.0
         for chunk in stage.chunks:
@@ -315,6 +459,7 @@ def simulate_hierarchical(
         schedule=plan.schedule_name,
         num_model_chunks=plan.num_model_chunks,
         recompute=plan.recompute,
+        overlap=overlap,
     )
     rng = np.random.default_rng(seed)
     samples = [

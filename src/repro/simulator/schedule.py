@@ -45,6 +45,16 @@ An optional activation-recomputation mode re-runs the forward before each
 backward (one extra forward per microbatch), shrinking the per-task stash to
 the chunk's boundary input.
 
+Boundary transfers are modelled as **asynchronous events on the sender's
+communication stream**: a stage's compute stream is free the moment a task
+ends — its next task runs while the previous microbatch's output is still in
+flight — and an ``overlap`` efficiency lets each send stream out during the
+tail of its producing task, shrinking the exposed latency on the dependency
+edge to ``xfer - overlap * min(xfer, producer_time)`` (1F1B steady state and
+interleaved wrap hops alike).  ``overlap = 0`` reproduces the fully blocking
+results exactly; results report exposed vs hidden transfer seconds and
+per-stage communication-stream load.
+
 This module is deliberately free of imports from the rest of the package: it
 consumes plain per-stage timings (:class:`StageTimes`) that either the cost
 model (planning estimates) or the execution simulator (measurements) can
@@ -142,6 +152,14 @@ class ScheduleResult:
         peak_memory: per-stage peak bytes — ``weight_bytes + peak_stash``.
         recompute: whether activation recomputation was modelled.
         num_model_chunks: model chunks per stage (1 unless interleaved).
+        overlap: communication/computation overlap efficiency the schedule
+            ran with (0 = fully blocking boundary transfers).
+        exposed_transfer: transfer seconds left on the dependency edges after
+            overlapping each send with the tail of its producing task.
+        hidden_transfer: transfer seconds hidden behind producing compute
+            (``exposed_transfer + hidden_transfer == transfer``).
+        comm_busy: per-physical-stage seconds the stage's communication
+            stream spends sending activations/gradients downstream/upstream.
     """
 
     total: float
@@ -157,6 +175,10 @@ class ScheduleResult:
     peak_memory: List[float] = field(default_factory=list)
     recompute: bool = False
     num_model_chunks: int = 1
+    overlap: float = 0.0
+    exposed_transfer: float = 0.0
+    hidden_transfer: float = 0.0
+    comm_busy: List[float] = field(default_factory=list)
 
 
 #: A task is (kind, chunk, microbatch); kind is "F" or "B".
@@ -244,6 +266,7 @@ class PipelineSchedule:
         inter_group_latency: float = 0.0,
         microbatch_overhead: float = 0.0,
         recompute: bool = False,
+        overlap: float = 0.0,
     ) -> ScheduleResult:
         """Simulate one pipelined iteration over the given stages.
 
@@ -256,8 +279,20 @@ class PipelineSchedule:
         (physical ``s-1 -> 0``) carry their chunk's true boundary bytes.
         With one stage and one microbatch the schedule degenerates to
         ``forward + backward + sync`` — the flat SPMD time.
+
+        Boundary transfers are asynchronous events on the sender's
+        communication stream: the sender's compute stream is free as soon as
+        the producing task ends (its next task runs while the output is in
+        flight), and with ``overlap > 0`` the send additionally streams out
+        during the tail of the producing task itself, so only
+        ``xfer - overlap * min(xfer, producer_time)`` separates the producer
+        from its consumer on the dependency edge.  ``overlap = 0`` reduces
+        exactly to the blocking model (the consumer waits the full transfer
+        after the producer finishes).
         """
         _validate_inputs(stages, num_microbatches, inter_group_bandwidth)
+        if not 0.0 <= overlap <= 1.0:
+            raise ValueError(f"overlap must be in [0, 1], got {overlap!r}")
         s = len(stages)
         m = num_microbatches
         v = self.num_model_chunks if s > 1 else 1
@@ -281,6 +316,14 @@ class PipelineSchedule:
             inter_group_latency + (chunk_of(k).send_bytes / m) / inter_group_bandwidth
             for k in range(total_virtual - 1)
         ]
+        # Exposed per-microbatch transfer on each dependency edge: the part of
+        # hop k's send that cannot stream out during its producing task.  The
+        # forward producer of hop k is virtual stage k; the backward producer
+        # is virtual stage k+1's backward.
+        hidden_f = [overlap * min(xfer[k], fwd[k]) for k in range(total_virtual - 1)]
+        hidden_b = [overlap * min(xfer[k], bwd[k + 1]) for k in range(total_virtual - 1)]
+        exposed_f = [x - h for x, h in zip(xfer, hidden_f)]
+        exposed_b = [x - h for x, h in zip(xfer, hidden_b)]
 
         # Per-task stash bytes: without recomputation an in-flight task holds
         # its chunk's activations; with recomputation only the chunk's
@@ -312,14 +355,14 @@ class PipelineSchedule:
                 if k == 0:
                     return 0.0
                 dep = finish_f.get((k - 1, j))
-                return None if dep is None else dep + xfer[k - 1]
+                return None if dep is None else dep + exposed_f[k - 1]
             own = finish_f.get((k, j))
             if own is None:
                 return None
             if k == total_virtual - 1:
                 return own
             dep = finish_b.get((k + 1, j))
-            return None if dep is None else max(own, dep + xfer[k])
+            return None if dep is None else max(own, dep + exposed_b[k])
 
         while remaining:
             best: Optional[Tuple[float, int, _Task]] = None
@@ -368,6 +411,15 @@ class PipelineSchedule:
         ]
         bubble = sum(max(total - b, 0.0) for b in stage_busy) / s
         transfer = 2.0 * m * sum(xfer) if s > 1 else 0.0
+        hidden = m * (sum(hidden_f) + sum(hidden_b)) if s > 1 else 0.0
+        # Sender-side communication-stream load: virtual stage k ships its
+        # forward output from physical stage k % s, and its backward gradient
+        # for hop k - 1 from physical stage k % s as well.
+        comm_busy = [0.0] * s
+        if s > 1:
+            for k in range(total_virtual - 1):
+                comm_busy[k % s] += m * xfer[k]  # forward sends of hop k
+                comm_busy[(k + 1) % s] += m * xfer[k]  # gradient sends of hop k
 
         peak_memory = [st.weight_bytes + peak_stash[i] for i, st in enumerate(stages)]
 
@@ -385,6 +437,10 @@ class PipelineSchedule:
             peak_memory=peak_memory,
             recompute=recompute,
             num_model_chunks=v,
+            overlap=overlap,
+            exposed_transfer=transfer - hidden,
+            hidden_transfer=hidden,
+            comm_busy=comm_busy,
         )
 
 
@@ -508,6 +564,7 @@ def simulate_pipeline(
     schedule: Union[str, PipelineSchedule] = "gpipe",
     num_model_chunks: int = 1,
     recompute: bool = False,
+    overlap: float = 0.0,
 ) -> ScheduleResult:
     """Simulate one pipelined iteration (GPipe by default, for compatibility).
 
@@ -524,6 +581,12 @@ def simulate_pipeline(
         num_model_chunks: chunks per stage for ``interleaved-1f1b``.
         recompute: model activation recomputation (one extra forward per
             microbatch, O(1) activation stash per in-flight microbatch).
+        overlap: communication/computation overlap efficiency in ``[0, 1]``;
+            each boundary transfer streams out during the tail of its
+            producing task, exposing only ``xfer - overlap * min(xfer,
+            producer_time)`` on the dependency edge.  0 (the default here;
+            the hierarchical planner passes the cluster's efficiency) is the
+            blocking model.
 
     Returns:
         The :class:`ScheduleResult`; ``total`` is the iteration time.
@@ -539,4 +602,5 @@ def simulate_pipeline(
         inter_group_latency=inter_group_latency,
         microbatch_overhead=microbatch_overhead,
         recompute=recompute,
+        overlap=overlap,
     )

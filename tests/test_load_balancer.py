@@ -129,9 +129,13 @@ class TestCostModelLinearisation:
         """Summing the per-stage linear pieces must equal the evaluator."""
         _, program, cost_model, cluster = dp_setup
         for ratios in (cluster.even_ratios(), cluster.proportional_ratios(), [0.7, 0.1, 0.1, 0.1]):
-            total = sum(c.time(ratios) for c in cost_model.stage_coefficients(program))
-            evaluated = cost_model.evaluate(program, ratios).total
-            assert total == pytest.approx(evaluated, rel=1e-6)
+            for overlap in (0.0, cost_model.overlap, 1.0):
+                total = sum(
+                    c.time(ratios, overlap=overlap)
+                    for c in cost_model.stage_coefficients(program)
+                )
+                evaluated = cost_model.evaluate(program, ratios, overlap=overlap).total
+                assert total == pytest.approx(evaluated, rel=1e-6)
 
     def test_comm_linear_exact_at_endpoints(self, dp_setup):
         _, program, cost_model, cluster = dp_setup
@@ -146,12 +150,23 @@ class TestCostModelLinearisation:
             assert const + slope == pytest.approx(skew, rel=1e-6)
 
     def test_breakdown_components_sum(self, dp_setup):
+        # The dual-stream model prices the critical path by *exposed*
+        # communication; the raw collective seconds split exactly into
+        # exposed + hidden, and with overlap 0 nothing hides.
         _, program, cost_model, cluster = dp_setup
         breakdown = cost_model.evaluate(program, cluster.even_ratios())
         assert breakdown.total == pytest.approx(
-            breakdown.communication + breakdown.computation, rel=1e-9
+            breakdown.exposed_communication + breakdown.computation, rel=1e-9
+        )
+        assert breakdown.communication == pytest.approx(
+            breakdown.exposed_communication + breakdown.hidden_communication, rel=1e-9
         )
         assert len(breakdown.stage_times) == len(program.stages())
+        serialized = cost_model.evaluate(program, cluster.even_ratios(), overlap=0.0)
+        assert serialized.total == pytest.approx(
+            serialized.communication + serialized.computation, rel=1e-9
+        )
+        assert serialized.hidden_communication == 0.0
 
     def test_machine_level_devices_add_internal_sync(self, machine_cluster):
         training = build_training_graph(build_mlp(batch=256, hidden=256)).graph

@@ -37,9 +37,24 @@ class TestSimulator:
     def test_components_sum_to_total(self, dp_program_and_cluster):
         _, program, cluster = dp_program_and_cluster
         result = ExecutionSimulator(cluster, seed=0).simulate(program, cluster.even_ratios(), 1)
+        # The dual-stream replay puts only the *exposed* communication on the
+        # critical path; raw collective seconds split into exposed + hidden.
         assert result.total == pytest.approx(
-            result.communication + result.computation + result.overhead, rel=1e-6
+            result.exposed_communication + result.computation + result.overhead,
+            rel=1e-6,
         )
+        assert result.communication == pytest.approx(
+            result.exposed_communication + result.hidden_communication, rel=1e-6
+        )
+        # With serialized streams the classic additive identity holds.
+        blocking = ExecutionSimulator(cluster, seed=0, overlap=0.0).simulate(
+            program, cluster.even_ratios(), 1
+        )
+        assert blocking.total == pytest.approx(
+            blocking.communication + blocking.computation + blocking.overhead,
+            rel=1e-6,
+        )
+        assert blocking.hidden_communication == 0.0
 
     def test_deterministic_for_fixed_seed(self, dp_program_and_cluster):
         _, program, cluster = dp_program_and_cluster
