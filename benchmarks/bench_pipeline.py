@@ -30,10 +30,15 @@ Usage::
     PYTHONPATH=src python -m benchmarks.bench_pipeline --fast     # CI-sized
     PYTHONPATH=src python -m benchmarks.bench_pipeline --max-planning-seconds 120
 
-Writes ``BENCH_pipeline.json``.  With ``--max-planning-seconds`` the harness
-exits non-zero when any testbed's planner wall-clock exceeds the budget —
-the CI guard against schedule-search blow-ups.  This file deliberately does
-not match ``test_*.py`` so pytest does not collect it.
+A **warm-cache** section re-plans the hetero testbed through an in-memory
+plan cache and records the cold/warm speedup (``warm_cache`` key); the
+``--min-cache-speedup`` guard enforces that a warm hit stays O(lookup).
+
+Writes ``benchmarks/results/BENCH_pipeline.json`` (a git-ignored directory,
+so bench runs never dirty the tree).  With ``--max-planning-seconds`` the
+harness exits non-zero when any testbed's planner wall-clock exceeds the
+budget — the CI guard against schedule-search blow-ups.  This file
+deliberately does not match ``test_*.py`` so pytest does not collect it.
 """
 
 from __future__ import annotations
@@ -48,7 +53,7 @@ from typing import Dict, List
 
 from repro.cluster import ClusterSpec, Machine, NetworkSpec, heterogeneous_testbed, homogeneous_testbed
 from repro.cluster.device import DeviceType
-from repro.core import HierarchicalConfig
+from repro.core import HierarchicalConfig, InMemoryPlanCache
 from repro.hap import hap_pipeline
 from repro.models import BenchmarkScale, build_model
 from repro.simulator import simulate_hierarchical, simulate_pipeline
@@ -164,6 +169,55 @@ def _testbeds(fast: bool) -> List[Dict[str, object]]:
     ]
 
 
+def bench_warm_cache(fast: bool, beam: int, rounds: int) -> Dict[str, object]:
+    """Cold-vs-warm planning of the hetero testbed through the plan cache.
+
+    The cold pass plans from scratch and populates an
+    :class:`~repro.core.InMemoryPlanCache`; the warm pass re-plans the exact
+    same (graph, cluster, config) problem and must be served by the
+    content-addressed whole-plan entry — the planner-as-a-service scenario
+    where repeated plan requests are O(lookup).
+    """
+    cluster = heterogeneous_testbed(num_gpus=16 if fast else 32, gpus_per_machine=8)
+    scale = BenchmarkScale(
+        "bench", layer_fraction=0.17 if fast else 0.34, batch_per_device=4 if fast else 8
+    )
+    forward = build_model("bert_base", num_gpus=cluster.num_gpus, scale=scale)
+    cache = InMemoryPlanCache()
+    config = HierarchicalConfig(
+        planner=bench_planner(beam=beam, rounds=rounds),
+        intra_group_network=NetworkSpec(bandwidth=100e9 / 8),
+        plan_cache=cache,
+    )
+    t0 = time.perf_counter()
+    cold = hap_pipeline(forward, cluster, config)
+    cold_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm = hap_pipeline(forward, cluster, config)
+    warm_seconds = time.perf_counter() - t0
+    record = {
+        "testbed": "hetero-bandwidth",
+        "num_gpus": cluster.num_gpus,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "cache_speedup": cold_seconds / warm_seconds,
+        "whole_plan_hit": warm.reuse_stats.get("whole_plan_hit", 0),
+        "identical": (
+            warm.estimated_time == cold.estimated_time
+            and warm.schedule_name == cold.schedule_name
+            and warm.num_stages == cold.num_stages
+        ),
+        "cold_reuse_stats": cold.reuse_stats,
+        "cache_entries": len(cache),
+    }
+    print(
+        f"{'warm-cache':>20s}: cold {cold_seconds:6.2f}s -> warm "
+        f"{warm_seconds * 1e3:6.1f} ms ({record['cache_speedup']:.0f}x, "
+        f"hit={record['whole_plan_hit']}, identical={record['identical']})"
+    )
+    return record
+
+
 def run_benchmark(fast: bool, beam: int, rounds: int) -> Dict[str, object]:
     # The reduced batch exercises BenchmarkScale.batch_per_device end to end:
     # the global batch genuinely shrinks with the scale now.
@@ -231,6 +285,7 @@ def run_benchmark(fast: bool, beam: int, rounds: int) -> Dict[str, object]:
         "max_rounds": rounds,
         "python": platform.python_version(),
         "results": results,
+        "warm_cache": bench_warm_cache(fast, beam, rounds),
     }
 
 
@@ -239,19 +294,44 @@ def main(argv=None) -> int:
     parser.add_argument("--fast", action="store_true", help="CI-sized sweep")
     parser.add_argument("--beam", type=int, default=8, help="per-stage synthesis beam width")
     parser.add_argument("--rounds", type=int, default=1, help="per-stage (Q, B) rounds")
-    parser.add_argument("--output", default="BENCH_pipeline.json")
+    parser.add_argument(
+        "--output",
+        default="benchmarks/results/BENCH_pipeline.json",
+        help="where to write the JSON report (the default lives under the "
+        "git-ignored benchmarks/results/ so runs never dirty the tree)",
+    )
     parser.add_argument(
         "--max-planning-seconds",
         type=float,
         default=None,
         help="fail when any testbed's planner wall-clock exceeds this budget",
     )
+    parser.add_argument(
+        "--min-cache-speedup",
+        type=float,
+        default=None,
+        help="fail when the warm plan-cache re-plan of the hetero testbed is "
+        "not at least this much faster than the cold plan",
+    )
     args = parser.parse_args(argv)
 
     report = run_benchmark(args.fast, args.beam, args.rounds)
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    out = Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
 
+    warm = report["warm_cache"]  # type: ignore[index]
+    if not warm["identical"] or not warm["whole_plan_hit"]:
+        print("FAIL: warm re-plan was not a cache hit for the identical plan", file=sys.stderr)
+        return 1
+    if args.min_cache_speedup is not None and warm["cache_speedup"] < args.min_cache_speedup:
+        print(
+            f"FAIL: warm-cache speedup {warm['cache_speedup']:.1f}x is below "
+            f"the --min-cache-speedup guard of {args.min_cache_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
     if args.max_planning_seconds is not None:
         slow = [
             r

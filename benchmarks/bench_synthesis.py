@@ -3,8 +3,10 @@
 Times program synthesis on the registry models across cluster sizes, running
 the optimised hot path (the ``SynthesisConfig`` defaults) and the unoptimised
 path (every ``enable_*`` hot-path flag off) back to back in the same process,
-and writes the results to ``BENCH_synthesis.json`` so future PRs have a
-performance trajectory to compare against.
+and writes the results to ``benchmarks/results/BENCH_synthesis.json`` (a
+git-ignored directory, so bench runs never dirty the tree) for future PRs to
+compare against.  It also A/Bs ``enable_block_reuse`` on a 48-layer BERT,
+where the synthesizer records each distinct block once and replays it.
 
 Usage::
 
@@ -126,6 +128,79 @@ def bench_one(
     }
 
 
+def bench_block_reuse(args: argparse.Namespace) -> Dict[str, object]:
+    """A/B ``enable_block_reuse`` on a deep transformer registry model.
+
+    The flag pays off on *depth*: a 48-layer BERT repeats one encoder block 48
+    times, so the synthesizer records the block's rule chain once and replays
+    it 47 times instead of re-searching.  The registry ``bert_base`` at
+    ``layer_fraction=4.0`` (48 layers) is used regardless of ``--fast`` — the
+    acceptance bar is "≥ 24-layer registry transformer" and shrinking the model
+    would shrink exactly the repetition the flag exploits.  Theory construction
+    is excluded from the timed region (it is identical on both paths and is
+    amortized across planner rounds anyway).
+    """
+    scale = BenchmarkScale("reuse", layer_fraction=4.0, batch_per_device=32)
+    model, num_devices, beam_width = "bert_base", 8, 16
+    cluster = heterogeneous_cluster(num_devices)
+    graph = build_model(model, num_gpus=num_devices, scale=scale)
+
+    def make(**flags) -> ProgramSynthesizer:
+        config = SynthesisConfig(
+            search_strategy="beam", beam_width=beam_width, **flags
+        )
+        return ProgramSynthesizer(graph, cluster, config)
+
+    reuse_synths: List[ProgramSynthesizer] = []
+
+    def make_reuse() -> ProgramSynthesizer:
+        synthesizer = make(enable_block_reuse=True)
+        reuse_synths.append(synthesizer)
+        return synthesizer
+
+    naive = time_synthesis(lambda: make(**{flag: False for flag in OPT_FLAGS}), args.repeats)
+    optimized = time_synthesis(make, args.repeats)
+    # The replay pass is sub-second, so a single noisy repeat skews the ratio
+    # far more than it skews the multi-second searches — take best of more.
+    reused = time_synthesis(make_reuse, max(args.repeats, 5))
+
+    naive_result = naive.pop("result")
+    optimized_result = optimized.pop("result")
+    reused_result = reused.pop("result")
+    parity = (
+        naive_result.cost == optimized_result.cost == reused_result.cost
+        and list(naive_result.program.instructions)
+        == list(optimized_result.program.instructions)
+        == list(reused_result.program.instructions)
+    )
+    stats = dict(reuse_synths[-1].reuse_stats)
+    row = {
+        "model": model,
+        "num_devices": num_devices,
+        "strategy": "beam+block-reuse",
+        "graph_nodes": len(graph.node_names),
+        "beam_width": beam_width,
+        "layer_fraction": scale.layer_fraction,
+        "repeats": args.repeats,
+        "naive": naive,
+        "optimized_no_reuse": optimized,
+        "optimized": reused,
+        "speedup": naive["seconds"] / reused["seconds"],
+        "block_reuse_speedup": optimized["seconds"] / reused["seconds"],
+        "parity": parity,
+        "reuse_stats": stats,
+    }
+    print(
+        f"{model:>10} m={num_devices:<3} beam+block-reuse "
+        f"({stats.get('occurrences', 0)} blocks): "
+        f"naive={naive['seconds']:.3f}s optimized={optimized['seconds']:.3f}s "
+        f"reuse={reused['seconds']:.3f}s "
+        f"speedup={row['speedup']:.2f}x "
+        f"(reuse-only {row['block_reuse_speedup']:.2f}x) parity={parity}"
+    )
+    return row
+
+
 def run_benchmark(args: argparse.Namespace) -> Dict[str, object]:
     if args.full:
         scale = BenchmarkScale.paper()
@@ -162,6 +237,10 @@ def run_benchmark(args: argparse.Namespace) -> Dict[str, object]:
 
     # Headline: best configuration of the largest model (most graph nodes),
     # across the benchmarked strategies and cluster sizes.
+    # The deep block-reuse model is a full sweep row (naive vs the optimized
+    # path *with* reuse); having the most graph nodes it becomes the headline.
+    block_reuse = bench_block_reuse(args)
+    rows.append(block_reuse)
     largest_nodes = max(r["graph_nodes"] for r in rows)
     headline_rows = [r for r in rows if r["graph_nodes"] == largest_nodes]
     headline = max(headline_rows, key=lambda r: r["speedup"])
@@ -174,6 +253,7 @@ def run_benchmark(args: argparse.Namespace) -> Dict[str, object]:
         "headline_optimized_seconds": headline["optimized"]["seconds"],
         "headline_speedup": headline["speedup"],
         "all_parity": all(r["parity"] for r in rows),
+        "block_reuse_speedup": block_reuse["block_reuse_speedup"],
     }
     print(
         f"\nheadline: {summary['largest_model']} (m={summary['headline_num_devices']}, "
@@ -215,19 +295,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         type=float,
         default=None,
         help="fail (exit 2) if the optimized/naive speedup on the largest "
-        "model drops below this — the CI regression guard for PR 1's wins",
+        "model drops below this — the CI regression guard for the hot-path "
+        "wins (the headline row is the deep transformer with block reuse)",
+    )
+    parser.add_argument(
+        "--min-block-reuse-speedup",
+        type=float,
+        default=None,
+        help="fail (exit 2) if enable_block_reuse on the deep registry "
+        "transformer is not at least this much faster than the optimized "
+        "per-layer search — the CI guard for the block-reuse win",
     )
     parser.add_argument(
         "--output",
         type=Path,
-        default=Path("BENCH_synthesis.json"),
-        help="where to write the JSON report",
+        default=Path("benchmarks/results/BENCH_synthesis.json"),
+        help="where to write the JSON report (the default lives under the "
+        "git-ignored benchmarks/results/ so runs never dirty the tree)",
     )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
 
     report = run_benchmark(args)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
     if not report["summary"]["all_parity"]:
@@ -240,6 +331,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"ERROR: headline speedup {headline:.2f}x on "
                 f"{report['summary']['largest_model']} is below the "
                 f"--min-speedup guard of {args.min_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 2
+    if args.min_block_reuse_speedup is not None:
+        block = report["summary"]["block_reuse_speedup"]
+        if block < args.min_block_reuse_speedup:
+            print(
+                f"ERROR: block-reuse speedup {block:.2f}x on the deep "
+                f"registry transformer is below the "
+                f"--min-block-reuse-speedup guard of "
+                f"{args.min_block_reuse_speedup:.2f}x",
                 file=sys.stderr,
             )
             return 2

@@ -10,6 +10,17 @@ from .program import DistributedProgram, Stage
 from .properties import DistState, Property, StateKind, partial, replicated, sharded
 from .rules import Rule, Theory, Variant, build_theory, moe_restricted_refs, node_variants
 from .synthesizer import ProgramSynthesizer, SynthesisError, SynthesisResult, synthesize_program
+from .plancache import (
+    CACHE_VERSION,
+    CachedPlan,
+    DiskPlanCache,
+    InMemoryPlanCache,
+    cluster_signature,
+    config_signature,
+    plan_key,
+    remap_plan,
+    remap_program,
+)
 from .hierarchical import (
     ChunkPlan,
     HierarchicalConfig,
@@ -57,6 +68,15 @@ __all__ = [
     "SynthesisResult",
     "SynthesisError",
     "synthesize_program",
+    "CACHE_VERSION",
+    "CachedPlan",
+    "DiskPlanCache",
+    "InMemoryPlanCache",
+    "cluster_signature",
+    "config_signature",
+    "plan_key",
+    "remap_plan",
+    "remap_program",
     "ChunkPlan",
     "HierarchicalConfig",
     "HierarchicalPlan",

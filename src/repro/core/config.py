@@ -66,6 +66,16 @@ class SynthesisConfig:
             cost-model evaluations across expansions.  The cached values are
             replayed in the original per-instruction order, so the accumulated
             floating-point costs are bit-identical to the unmemoized path.
+        enable_block_reuse: detect repeated subgraph blocks (transformer
+            layers, their backward blocks, per-layer optimizer updates) in the
+            topological emulation order and replay the beam-search decisions
+            of the first occurrence across the later ones instead of
+            re-expanding the full per-level candidate set.  Every replayed
+            step re-runs the exact cost model on the occurrence's own rules,
+            and replay is guarded by a structural entry signature — any
+            mismatch falls back to full expansion (and re-records the block),
+            so the synthesized program is identical to the flag-off path.
+            Only the level-synchronised beam search uses it.
     """
 
     enable_sfb: bool = True
@@ -83,6 +93,7 @@ class SynthesisConfig:
     enable_state_interning: bool = True
     enable_pareto_store: bool = True
     enable_cost_memoization: bool = True
+    enable_block_reuse: bool = False
     # Baseline-emulation switches (used by repro.baselines, not by HAP itself):
     # restrict the theory so only data-parallel programs exist, optionally with
     # expert parallelism for rank-3 (expert) parameters.

@@ -39,12 +39,14 @@ PAPERS.md).
 from __future__ import annotations
 
 import copy
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..autodiff.backward import StageTrainingInfo, build_stage_training_graph
 from ..cluster.spec import ClusterPartition, ClusterSpec, CommOverlapModel, NetworkSpec
 from ..graph.analysis import PipelineCut, interleaved_pipeline_cut
+from ..graph.canonical import fingerprint_with_order, graph_fingerprint
 from ..graph.graph import ComputationGraph, GraphError
 from ..graph.ops import OpKind
 from ..simulator.schedule import (
@@ -58,6 +60,7 @@ from ..simulator.schedule import (
 from .config import PlannerConfig
 from .costmodel import CostModel
 from .pipeline import HAPPlan, HAPPlanner
+from .plancache import CachedPlan, InMemoryPlanCache, plan_key, remap_plan
 from .program import DistributedProgram
 
 #: Resident bytes per parameter byte: the parameter itself plus its gradient.
@@ -115,6 +118,20 @@ class HierarchicalConfig:
             untouched — only the resident optimizer state shrinks).
         planner: configuration of the flat HAP planner run per stage.
         lr: learning rate stored on the stage graphs' ``sgd_update`` nodes.
+        dedupe_subplans: plan each distinct (chunk-graph content, machine
+            group, planner config) combination once per :meth:`plan` call and
+            rename the resulting flat plan onto every isomorphic chunk —
+            repeated transformer layers produce isomorphic chunk graphs
+            across the (stage x schedule x microbatch) grid.  Result-identical
+            because flat HAP planning is content-deterministic (node names
+            never influence decisions); ``tests/test_optimization_parity.py``
+            enforces it.
+        plan_cache: a :class:`~repro.core.plancache.InMemoryPlanCache` /
+            :class:`~repro.core.plancache.DiskPlanCache` consulted for every
+            chunk plan and for the final whole plan, keyed by content
+            fingerprints (see :mod:`repro.core.plancache`).  ``None`` (the
+            default) disables cross-call caching; within-call dedupe is
+            governed by ``dedupe_subplans`` alone.
     """
 
     stage_candidates: Optional[Sequence[int]] = None
@@ -130,6 +147,8 @@ class HierarchicalConfig:
     shard_optimizer_state: bool = False
     planner: PlannerConfig = field(default_factory=PlannerConfig)
     lr: float = 0.01
+    dedupe_subplans: bool = True
+    plan_cache: Optional[InMemoryPlanCache] = None
 
     def __post_init__(self) -> None:
         if self.recompute not in ("never", "always", "auto"):
@@ -332,6 +351,12 @@ class HierarchicalPlan:
             non-hidden part).
         shard_optimizer_state: whether the memory feasibility checks sharded
             replicated parameters' optimizer moments ZeRO-style.
+        reuse_stats: how much flat-HAP planning the reuse machinery avoided:
+            ``subplans_planned`` chunk plans were actually synthesized,
+            ``subplans_deduped`` were renamed from an isomorphic chunk planned
+            earlier in the same call, ``cache_hits`` came from the configured
+            plan cache, and ``whole_plan_hit`` is 1 when the entire plan was
+            served from the cache.
     """
 
     cluster: ClusterSpec
@@ -356,6 +381,7 @@ class HierarchicalPlan:
     )
     batch_size: Optional[int] = None
     microbatch_overhead: float = 0.0
+    reuse_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def num_stages(self) -> int:
@@ -445,6 +471,15 @@ class HierarchicalPlan:
                 f"{s}->{t * 1e3:.1f}ms" for s, t in sorted(self.candidate_times.items())
             )
             lines.append(f"  candidates: {ranked}")
+        if self.reuse_stats:
+            planned = self.reuse_stats.get("subplans_planned", 0)
+            deduped = self.reuse_stats.get("subplans_deduped", 0)
+            cached = self.reuse_stats.get("cache_hits", 0)
+            note = " (whole plan from cache)" if self.reuse_stats.get("whole_plan_hit") else ""
+            lines.append(
+                f"  reuse: {planned} chunk plan(s) synthesized, "
+                f"{deduped} deduped, {cached} cache hit(s){note}"
+            )
         return "\n".join(lines)
 
 
@@ -522,6 +557,14 @@ class HierarchicalPlanner:
             if self.config.overlap is None
             else self.config.overlap
         )
+        # Within-call sub-plan dedupe table and reuse counters; reset per plan().
+        self._local_plans: Dict[str, CachedPlan] = {}
+        self.reuse_stats: Dict[str, int] = {
+            "subplans_planned": 0,
+            "subplans_deduped": 0,
+            "cache_hits": 0,
+            "whole_plan_hit": 0,
+        }
 
     def _batch_size(self) -> Optional[int]:
         leading = {
@@ -583,6 +626,42 @@ class HierarchicalPlanner:
         return sorted(out)
 
     # -- per-candidate construction -------------------------------------------------
+    def _plan_chunk(self, graph: ComputationGraph, group: ClusterSpec) -> HAPPlan:
+        """Flat-HAP plan for one chunk graph, reusing isomorphic work.
+
+        Lookup order: the within-call dedupe table (isomorphic chunks planned
+        earlier in this :meth:`plan` call — repeated layers, or the same cut
+        re-planned for another schedule variant), then the configured
+        persistent cache.  Both key on content only — chunk-graph fingerprint
+        x machine-group signature x planner config — and a hit is renamed
+        onto this chunk's node names, so the result is identical to planning
+        from scratch.
+        """
+        reuse = self.config.dedupe_subplans or self.config.plan_cache is not None
+        if not reuse:
+            self.reuse_stats["subplans_planned"] += 1
+            return HAPPlanner(graph, group, self.config.planner).plan()
+        fingerprint, order = fingerprint_with_order(graph)
+        key = plan_key(fingerprint, group, self.config.planner)
+        if self.config.dedupe_subplans:
+            entry = self._local_plans.get(key)
+            if entry is not None:
+                self.reuse_stats["subplans_deduped"] += 1
+                return remap_plan(entry.plan, entry.node_names, graph)
+        if self.config.plan_cache is not None:
+            entry = self.config.plan_cache.get(key)
+            if entry is not None:
+                self.reuse_stats["cache_hits"] += 1
+                self._local_plans[key] = entry
+                return remap_plan(entry.plan, entry.node_names, graph)
+        plan = HAPPlanner(graph, group, self.config.planner).plan()
+        self.reuse_stats["subplans_planned"] += 1
+        entry = CachedPlan(key=key, node_names=order, plan=plan)
+        self._local_plans[key] = entry
+        if self.config.plan_cache is not None:
+            self.config.plan_cache.put(entry)
+        return plan
+
     def _build_stages(
         self, partition: ClusterPartition, num_chunks: int
     ) -> Optional[Tuple[PipelineCut, List[StagePlan]]]:
@@ -609,9 +688,7 @@ class HierarchicalPlanner:
                 boundary_outputs=cut.cut_refs[k],
                 lr=self.config.lr,
             )
-            plan = HAPPlanner(
-                info.graph, partition.groups[stage_idx], self.config.planner
-            ).plan()
+            plan = self._plan_chunk(info.graph, partition.groups[stage_idx])
             # Bytes the chunk's *outgoing hop* actually ships: every tensor in
             # flight across virtual boundary k, including skip-connection
             # tensors produced by earlier chunks that this hop merely relays
@@ -868,9 +945,45 @@ class HierarchicalPlanner:
         _, result, name, rc, fits, chunks = best
         return result, name, rc, fits, combo_times, chunks
 
+    def _whole_plan_key(self) -> str:
+        """Content address of the entire planning request."""
+        return plan_key(
+            "hierarchical:" + graph_fingerprint(self.forward), self.cluster, self.config
+        )
+
     # -- main entry point -----------------------------------------------------------
     def plan(self) -> HierarchicalPlan:
-        """Evaluate every candidate and return the cheapest feasible plan."""
+        """Evaluate every candidate and return the cheapest feasible plan.
+
+        With a configured ``plan_cache`` the finished plan is stored under the
+        (forward-graph fingerprint, cluster signature, config signature) key
+        and a repeated request is served whole in O(lookup).  Whole plans are
+        only replayed when the forward graph's node names match the cached
+        request exactly (chunk plans are renamed on reuse; a whole
+        hierarchical plan is not), otherwise planning falls through to the
+        chunk-level cache, which is name-independent.
+        """
+        self._local_plans = {}
+        self.reuse_stats = {
+            "subplans_planned": 0,
+            "subplans_deduped": 0,
+            "cache_hits": 0,
+            "whole_plan_hit": 0,
+        }
+        cache = self.config.plan_cache
+        whole_key = None
+        forward_names = None
+        if cache is not None:
+            whole_key = self._whole_plan_key()
+            forward_names = [node.name for node in self.forward]
+            entry = cache.get(whole_key)
+            if entry is not None and entry.extra.get("forward_names") == forward_names:
+                self.reuse_stats["whole_plan_hit"] = 1
+                # Shallow copy: the cached entry keeps its own stats and stays
+                # immutable from the caller's point of view.
+                return dataclasses.replace(
+                    entry.plan, reuse_stats=dict(self.reuse_stats)
+                )
         best: Optional[HierarchicalPlan] = None
         candidate_times: Dict[int, float] = {}
         combo_times: Dict[Tuple[int, str, int, bool], float] = {}
@@ -888,4 +1001,14 @@ class HierarchicalPlanner:
         assert best is not None  # num_stages == 1 always builds
         best.candidate_times = candidate_times
         best.schedule_candidate_times = combo_times
+        best.reuse_stats = dict(self.reuse_stats)
+        if cache is not None and whole_key is not None:
+            cache.put(
+                CachedPlan(
+                    key=whole_key,
+                    node_names=[],
+                    plan=best,
+                    extra={"forward_names": forward_names},
+                )
+            )
         return best

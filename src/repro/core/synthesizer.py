@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..cluster.spec import ClusterSpec
+from ..graph.canonical import BlockRun, find_repeated_blocks
 from ..graph.graph import ComputationGraph
 from ..graph.ops import OpKind
 from .config import SynthesisConfig
@@ -138,6 +139,74 @@ class _SearchNode:
         return max(self.stage_comp) if self.stage_comp else 0.0
 
 
+class _OccurrenceInfo:
+    """Static (ratio-independent) data of one repeated-block occurrence."""
+
+    __slots__ = (
+        "node_names",
+        "occ_refs",
+        "ref_idx",
+        "ref_bits",
+        "relevant_mask",
+        "pending_masks",
+        "sigmaps",
+    )
+
+    def __init__(
+        self,
+        node_names: Tuple[str, ...],
+        occ_refs: Tuple[str, ...],
+        ref_idx: Dict[str, int],
+        ref_bits: Tuple[int, ...],
+        relevant_mask: int,
+        pending_masks: Tuple[int, ...],
+    ) -> None:
+        self.node_names = node_names
+        self.occ_refs = occ_refs
+        self.ref_idx = ref_idx
+        self.ref_bits = ref_bits
+        self.relevant_mask = relevant_mask
+        self.pending_masks = pending_masks
+        #: lazily-built signature -> rule maps per candidate list (signatures
+        #: are structural, so the maps survive across synthesize() calls).
+        self.sigmaps: Dict[Tuple, Dict[Tuple, Rule]] = {}
+
+
+class _BlockRecord:
+    """Recorded beam decisions of one block template.
+
+    ``levels[j]`` holds, per surviving beam state of in-block level ``j``, the
+    pair ``(parent index in the entering beam, descriptor chain)`` where the
+    chain lists the applied rules (enabling collectives, then the computation
+    rule) as block-local structural descriptors.  ``needed[j]`` is the set of
+    level-``j`` beam positions consumed by later levels (the rest were padding
+    in the template's beam and need not be replayed); the final level is
+    needed in full, since the post-block search continues from it.
+    ``exit_rel`` describes, per exit-beam position, the block-relevant part of
+    the template's exit state — (property encodings, communicated ref indices,
+    completed ref indices) — from which a replay reconstructs the occurrence's
+    exit states directly: context irrelevant to the block passes through a
+    block unchanged (liveness drops, completions and communications only ever
+    touch the block's own references), so only cost accumulation needs to walk
+    the decision chains.
+    """
+
+    __slots__ = ("entry_sig", "levels", "needed", "exit_rel")
+
+    def __init__(
+        self, entry_sig: Tuple, levels: List[List[Tuple]], exit_rel: List[Tuple]
+    ) -> None:
+        self.entry_sig = entry_sig
+        self.levels = levels
+        self.exit_rel = exit_rel
+        needed: List[Set[int]] = [set() for _ in levels]
+        if levels:
+            needed[-1] = set(range(len(levels[-1])))
+            for j in range(len(levels) - 2, -1, -1):
+                needed[j] = {levels[j + 1][pos][0] for pos in needed[j + 1]}
+        self.needed = needed
+
+
 class ProgramSynthesizer:
     """Synthesizes the optimal distributed program for fixed sharding ratios."""
 
@@ -227,6 +296,19 @@ class ProgramSynthesizer:
         self._prop_transition: Dict[Tuple[int, int, int], Tuple[FrozenSet[Property], int]] = {}
         #: (comm_sid, id(rule)) -> (communicated, comm_sid).
         self._comm_transition: Dict[Tuple[int, int], Tuple[FrozenSet[str], int]] = {}
+        # -- block reuse (config.enable_block_reuse) ---------------------------
+        #: id(rule) -> deterministic precondition order (see _ordered_pre).
+        self._pre_order_cache: Dict[int, Tuple[Property, ...]] = {}
+        #: segment schedule over the topological order: plain nodes plus
+        #: repeated-block occurrences (built lazily on first beam search).
+        self._reuse_segments: Optional[List[Tuple]] = None
+        #: (id(run), occurrence index) -> per-occurrence static info.
+        self._occ_info: Dict[Tuple[int, int], "_OccurrenceInfo"] = {}
+        #: id(run) -> recorded template decisions (reset per synthesize call;
+        #: decisions depend on the sharding ratios).
+        self._reuse_records: Dict[int, "_BlockRecord"] = {}
+        #: per-synthesize block-reuse accounting (inspectable after a run).
+        self.reuse_stats: Dict[str, int] = {}
 
     def _intern_propset(self, fs: FrozenSet[Property]) -> Tuple[FrozenSet[Property], int]:
         entry = self._propset_intern.get(fs)
@@ -652,69 +734,520 @@ class ProgramSynthesizer:
         start = _time.perf_counter()
         beam_width = self.config.beam_width or 64
         states: List[_SearchNode] = [self._root()]
-        expanded = 0
-        generated = 1
-        interning = self.config.enable_state_interning
+        self._bm_expanded = 0
+        self._bm_generated = 1
 
-        for node_name in self._topo_order:
-            children: Dict[Tuple, Tuple[_SearchNode, Tuple[float, ...]]] = {}
-            # Keys from different levels never meet in one dict, so the
-            # intern table is per-level — the triples become garbage with the
-            # level instead of accumulating for the whole run.
-            state_ids: Dict[Tuple, int] = {}
-            comp_rules = self.theory.comp_rules_by_node.get(node_name, [])
-            if not comp_rules:
-                raise SynthesisError(f"no sharding rules for node {node_name!r}")
-            for state in states:
-                expanded += 1
-                for rule in comp_rules:
-                    for child in self._expand_with_rule(state, rule, ratios):
-                        generated += 1
-                        if child.prop_sid >= 0:
-                            # Interned ids from the fast _apply path: the key
-                            # hashes three machine words, no frozensets.
-                            key = (child.prop_sid, child.completed, child.comm_sid)
-                        else:
-                            key = (child.properties, child.completed, child.communicated)
-                            if interning:
-                                sid = state_ids.get(key)
-                                if sid is None:
-                                    sid = state_ids[key] = len(state_ids)
-                                key = sid
-                        closed = child.closed_cost
-                        vector = tuple([closed + c for c in child.stage_comp])
-                        existing = children.get(key)
-                        if existing is not None and all(
-                            e <= v + 1e-15 for e, v in zip(existing[1], vector)
-                        ):
-                            continue
-                        children[key] = (child, vector)
-            if not children:
-                raise SynthesisError(
-                    f"beam search dead-ended at node {node_name!r}: no variant of the "
-                    "operator is reachable from the surviving states"
-                )
-            # Rank by the cost actually accumulated so far (closed stages plus
-            # the open stage's critical path, with total device work as the
-            # tie-breaker).  The A* heuristic term would be identical for all
-            # states at the same level and would therefore make them tie.
-            ranked = sorted(
-                (entry[0] for entry in children.values()),
-                key=lambda s: (self._final_cost(s), sum(s.stage_comp)),
-            )
-            states = ranked[:beam_width]
+        if self.config.enable_block_reuse and self.config.follow_topological_order:
+            self._reuse_records = {}
+            self.reuse_stats = {"occurrences": 0, "replayed": 0, "recorded": 0, "fallbacks": 0}
+            for segment in self._reuse_schedule():
+                if segment[0] == "node":
+                    states = self._beam_level(states, segment[1], ratios, beam_width)
+                else:
+                    _, run, occ_idx = segment
+                    states = self._block_occurrence(states, run, occ_idx, ratios, beam_width)
+        else:
+            for node_name in self._topo_order:
+                states = self._beam_level(states, node_name, ratios, beam_width)
 
         complete = [s for s in states if self._is_complete(s)]
         if not complete:
             raise SynthesisError("beam search finished without a complete program")
         best = min(complete, key=self._final_cost)
-        return self._result(best, self._final_cost(best), expanded, generated, start)
+        return self._result(
+            best, self._final_cost(best), self._bm_expanded, self._bm_generated, start
+        )
+
+    def _beam_level(
+        self,
+        states: List[_SearchNode],
+        node_name: str,
+        ratios: Sequence[float],
+        beam_width: int,
+        record_into: Optional[List[Tuple]] = None,
+    ) -> List[_SearchNode]:
+        """Expand one topological-order node and keep the best states.
+
+        When ``record_into`` is given, the surviving states are additionally
+        recorded as ``(parent index in the entering beam, applied-rule chain)``
+        pairs so a repeated-block occurrence can replay them.
+        """
+        interning = self.config.enable_state_interning
+        children: Dict[Tuple, Tuple[_SearchNode, Tuple[float, ...]]] = {}
+        # Keys from different levels never meet in one dict, so the
+        # intern table is per-level — the triples become garbage with the
+        # level instead of accumulating for the whole run.
+        state_ids: Dict[Tuple, int] = {}
+        comp_rules = self.theory.comp_rules_by_node.get(node_name, [])
+        if not comp_rules:
+            raise SynthesisError(f"no sharding rules for node {node_name!r}")
+        for state in states:
+            self._bm_expanded += 1
+            for rule in comp_rules:
+                for child in self._expand_with_rule(state, rule, ratios):
+                    self._bm_generated += 1
+                    if child.prop_sid >= 0:
+                        # Interned ids from the fast _apply path: the key
+                        # hashes three machine words, no frozensets.
+                        key = (child.prop_sid, child.completed, child.comm_sid)
+                    else:
+                        key = (child.properties, child.completed, child.communicated)
+                        if interning:
+                            sid = state_ids.get(key)
+                            if sid is None:
+                                sid = state_ids[key] = len(state_ids)
+                            key = sid
+                    closed = child.closed_cost
+                    vector = tuple([closed + c for c in child.stage_comp])
+                    existing = children.get(key)
+                    if existing is not None and all(
+                        e <= v + 1e-15 for e, v in zip(existing[1], vector)
+                    ):
+                        continue
+                    children[key] = (child, vector)
+        if not children:
+            raise SynthesisError(
+                f"beam search dead-ended at node {node_name!r}: no variant of the "
+                "operator is reachable from the surviving states"
+            )
+        # Rank by the cost actually accumulated so far (closed stages plus
+        # the open stage's critical path, with total device work as the
+        # tie-breaker).  The A* heuristic term would be identical for all
+        # states at the same level and would therefore make them tie.
+        ranked = sorted(
+            (entry[0] for entry in children.values()),
+            key=lambda s: (self._final_cost(s), sum(s.stage_comp)),
+        )
+        survivors = ranked[:beam_width]
+        if record_into is not None:
+            origin = {id(s): i for i, s in enumerate(states)}
+            for survivor in survivors:
+                chain: List[Rule] = []
+                cursor: Optional[_SearchNode] = survivor
+                while cursor is not None and id(cursor) not in origin:
+                    chain.append(cursor.rule)  # type: ignore[arg-type]
+                    cursor = cursor.parent
+                assert cursor is not None
+                record_into.append((origin[id(cursor)], tuple(reversed(chain))))
+        return survivors
+
+    # -- repeated-block record/replay (config.enable_block_reuse) ----------------------
+    def _reuse_schedule(self) -> List[Tuple]:
+        """Segment the topological order into plain nodes and block occurrences."""
+        if self._reuse_segments is not None:
+            return self._reuse_segments
+        runs = find_repeated_blocks(self.graph, self._topo_order)
+        occurrence_at: Dict[int, Tuple[BlockRun, int]] = {}
+        for run in runs:
+            for occ_idx, start in enumerate(run.occurrence_starts):
+                occurrence_at[start] = (run, occ_idx)
+        segments: List[Tuple] = []
+        i = 0
+        n = len(self._topo_order)
+        while i < n:
+            entry = occurrence_at.get(i)
+            if entry is not None:
+                run, occ_idx = entry
+                segments.append(("block", run, occ_idx))
+                self._occ_info[(id(run), occ_idx)] = self._build_occ_info(run, occ_idx)
+                i += run.length
+            else:
+                segments.append(("node", self._topo_order[i]))
+                i += 1
+        self._reuse_segments = segments
+        return segments
+
+    def _build_occ_info(self, run: BlockRun, occ_idx: int) -> _OccurrenceInfo:
+        mapping = run.maps[occ_idx]
+        start = run.occurrence_starts[occ_idx]
+        node_names = tuple(self._topo_order[start : start + run.length])
+        occ_refs = tuple(mapping[ref] for ref in run.refs)
+        ref_idx = {ref: i for i, ref in enumerate(occ_refs)}
+        ref_bits = tuple(1 << self._node_index[ref] for ref in occ_refs)
+        relevant_mask = 0
+        for bit in ref_bits:
+            relevant_mask |= bit
+        block_nodes = set(node_names)
+        pending_masks: List[int] = []
+        for ref in occ_refs:
+            mask = 0
+            for consumer in self._consumers.get(ref, []):
+                if consumer not in block_nodes:
+                    mask |= 1 << self._node_index[consumer]
+            pending_masks.append(mask)
+        return _OccurrenceInfo(
+            node_names=node_names,
+            occ_refs=occ_refs,
+            ref_idx=ref_idx,
+            ref_bits=ref_bits,
+            relevant_mask=relevant_mask,
+            pending_masks=tuple(pending_masks),
+        )
+
+    def _block_occurrence(
+        self,
+        states: List[_SearchNode],
+        run: BlockRun,
+        occ_idx: int,
+        ratios: Sequence[float],
+        beam_width: int,
+    ) -> List[_SearchNode]:
+        """Process one occurrence of a repeated block: replay or record.
+
+        The first occurrence (and any occurrence whose entry signature differs
+        from the recorded template's) is expanded in full with its decisions
+        recorded; matching occurrences replay the recorded decision chains,
+        re-running the exact cost model per applied rule.  Replay bails out to
+        full expansion on any structural mismatch.
+        """
+        info = self._occ_info[(id(run), occ_idx)]
+        sig = self._block_entry_signature(states, info)
+        record = self._reuse_records.get(id(run))
+        self.reuse_stats["occurrences"] += 1
+        if record is not None and record.entry_sig == sig:
+            replayed = self._replay_block(states, info, record, ratios)
+            if replayed is not None:
+                self.reuse_stats["replayed"] += 1
+                return replayed
+            self.reuse_stats["fallbacks"] += 1
+        self.reuse_stats["recorded"] += 1
+        levels: List[List[Tuple]] = []
+        for node_name in info.node_names:
+            decisions: List[Tuple] = []
+            states = self._beam_level(
+                states, node_name, ratios, beam_width, record_into=decisions
+            )
+            levels.append(decisions)
+        self._reuse_records[id(run)] = _BlockRecord(
+            entry_sig=sig,
+            levels=self._normalize_levels(levels, info),
+            exit_rel=[self._exit_encoding(state, info) for state in states],
+        )
+        return states
+
+    def _exit_encoding(self, state: _SearchNode, info: _OccurrenceInfo) -> Tuple:
+        """Block-relevant part of an exit state, in block-local indices."""
+        ref_idx = info.ref_idx
+        rel_props = tuple(
+            (ref_idx[p.ref], p.state)
+            for p in state.properties
+            if p.ref in ref_idx
+        )
+        rel_comm = tuple(ref_idx[c] for c in state.communicated if c in ref_idx)
+        completed = state.completed
+        rel_completed = tuple(
+            i for i, bit in enumerate(info.ref_bits) if completed & bit
+        )
+        return (rel_props, rel_comm, rel_completed)
+
+    def _normalize_levels(
+        self, levels: List[List[Tuple]], info: _OccurrenceInfo
+    ) -> List[List[Tuple]]:
+        """Convert recorded rule chains into block-local structural descriptors."""
+        out: List[List[Tuple]] = []
+        for decisions in levels:
+            converted: List[Tuple] = []
+            for parent_idx, chain in decisions:
+                converted.append(
+                    (parent_idx, tuple(self._rule_descriptor(rule, info) for rule in chain))
+                )
+            out.append(converted)
+        return out
+
+    def _rule_descriptor(self, rule: Rule, info: _OccurrenceInfo) -> Tuple:
+        """Block-local descriptor of a rule: (kind, lookup ref index, signature).
+
+        Computation rules are looked up among the sharding variants of the
+        occurrence's node at the same in-block level; communication rules
+        among the collectives of the translated reference.  The signature is
+        entirely in terms of block-local reference indices, so it transfers
+        between occurrences without a rename pass; an untranslatable rule
+        yields a ``None`` signature, which makes replay fall back.
+        """
+        sig = self._rule_sig(rule, info.ref_idx)
+        if rule.completes:
+            return ("comp", -1, sig)
+        lookup = -1
+        if sig is not None:
+            lookup = min(info.ref_idx[p.ref] for p in rule.pre)
+        return ("comm", lookup, sig)
+
+    def _rule_sig(self, rule: Rule, ref_idx: Dict[str, int]) -> Optional[Tuple]:
+        """Name-free structural signature of a rule (block-local ref indices)."""
+
+        def prop(p: Property) -> Optional[Tuple]:
+            i = ref_idx.get(p.ref)
+            if i is None:
+                return None
+            return (i, p.state.kind.value, p.state.dim)
+
+        pre = []
+        for p in rule.pre:
+            enc = prop(p)
+            if enc is None:
+                return None
+            pre.append(enc)
+        post = []
+        for p in rule.post:
+            enc = prop(p)
+            if enc is None:
+                return None
+            post.append(enc)
+        completes = []
+        for name in rule.completes:
+            i = ref_idx.get(name)
+            if i is None:
+                return None
+            completes.append(i)
+        communicates = []
+        for name in rule.communicates:
+            i = ref_idx.get(name)
+            if i is None:
+                return None
+            communicates.append(i)
+        instrs: List[Tuple] = []
+        for instr in rule.instructions:
+            if isinstance(instr, CommInstruction):
+                src = prop(instr.input)
+                dst = prop(instr.output)
+                if src is None or dst is None:
+                    return None
+                instrs.append(("m", instr.kind.value, src, dst, instr.dim, instr.dim2))
+            else:
+                node_i = ref_idx.get(instr.node)
+                out = prop(instr.output)
+                if node_i is None or out is None:
+                    return None
+                inputs = []
+                for p in instr.inputs:
+                    enc = prop(p)
+                    if enc is None:
+                        return None
+                    inputs.append(enc)
+                instrs.append(("c", node_i, instr.op, tuple(inputs), out, instr.flops_sharded))
+        return (
+            tuple(sorted(pre)),
+            tuple(instrs),
+            tuple(sorted(post)),
+            tuple(sorted(completes)),
+            tuple(sorted(communicates)),
+        )
+
+    def _block_entry_signature(self, states: List[_SearchNode], info: _OccurrenceInfo) -> Tuple:
+        """Structural signature of the beam at a block boundary.
+
+        Per state, block-relevant properties / communicated refs / completion
+        bits are expressed in block-local indices; everything irrelevant to
+        the block is reduced to a distinctness-pattern id across the beam (the
+        block's decisions can only depend on *which states share* irrelevant
+        context, not on what it is).  ``ext_pending`` captures, per relevant
+        reference, whether consumers outside the block are still pending —
+        this determines when the liveness optimisation may drop the reference
+        mid-block, so it must agree with the template's.
+        """
+        ref_idx = info.ref_idx
+        ref_bits = info.ref_bits
+        pending_masks = info.pending_masks
+        relevant_mask = info.relevant_mask
+        pattern_ids: Dict[Tuple, int] = {}
+        sig: List[Tuple] = []
+        for state in states:
+            rel_props: List[Tuple] = []
+            irr_props: List[Property] = []
+            for p in state.properties:
+                i = ref_idx.get(p.ref)
+                if i is None:
+                    irr_props.append(p)
+                else:
+                    rel_props.append((i, p.state.kind.value, p.state.dim))
+            rel_props.sort(key=lambda t: (t[0], t[1], -1 if t[2] is None else t[2]))
+            rel_comm = sorted(ref_idx[c] for c in state.communicated if c in ref_idx)
+            irr_comm = frozenset(c for c in state.communicated if c not in ref_idx)
+            completed = state.completed
+            rel_completed = tuple(
+                1 if completed & bit else 0 for bit in ref_bits
+            )
+            ext_pending = tuple(
+                1 if mask & ~completed else 0 for mask in pending_masks
+            )
+            pattern_key = (frozenset(irr_props), irr_comm, completed & ~relevant_mask)
+            pid = pattern_ids.setdefault(pattern_key, len(pattern_ids))
+            sig.append((tuple(rel_props), tuple(rel_comm), rel_completed, ext_pending, pid))
+        return tuple(sig)
+
+    def _replay_block(
+        self,
+        states: List[_SearchNode],
+        info: _OccurrenceInfo,
+        record: _BlockRecord,
+        ratios: Sequence[float],
+    ) -> Optional[List[_SearchNode]]:
+        """Replay a recorded block's decision chains on this occurrence.
+
+        Cost accumulation must be exact, so the chains are walked rule by
+        rule through the occurrence's own (signature-translated) rules and
+        cost plans — the identical float operations the full expansion would
+        perform on the winning lineages.  State sets need no walking: context
+        irrelevant to the block passes through unchanged and the relevant
+        part of each exit state is recorded on the template, so exit states
+        are reconstructed directly.  Intermediate steps only allocate
+        lightweight "ghost" parents carrying the applied rule, which is what
+        program reconstruction walks at the end of the search.
+
+        Returns ``None`` on any mismatch (untranslatable rule, missing
+        parent), in which case the caller re-expands the occurrence in full.
+        """
+        # Per position: (closed, stage, completed_ideal, depth, tail, root idx).
+        current: Dict[int, Tuple] = {
+            i: (s.closed_cost, s.stage_comp, s.completed_ideal, s.depth, s, i)
+            for i, s in enumerate(states)
+        }
+        applied = 0
+        for level, decisions in enumerate(record.levels):
+            node_name = info.node_names[level]
+            needed = record.needed[level]
+            new_states: Dict[int, Tuple] = {}
+            for position in sorted(needed):
+                parent_idx, chain = decisions[position]
+                entry = current.get(parent_idx)
+                if entry is None:
+                    return None
+                closed, stage, ideal, depth, tail, root_idx = entry
+                for descriptor in chain:
+                    rule = self._translate_descriptor(descriptor, info, node_name)
+                    if rule is None:
+                        return None
+                    plan, _, ideals, _ = self._replay_runtime(rule, ratios)
+                    for kind, payload in plan:
+                        if kind == _SYNC:
+                            closed += max(stage) + payload
+                            stage = self._zero_stage
+                        else:
+                            stage = tuple([s + t for s, t in zip(stage, payload)])
+                    for delta in ideals:
+                        ideal += delta
+                    ghost = _SearchNode.__new__(_SearchNode)
+                    ghost.parent = tail
+                    ghost.rule = rule
+                    tail = ghost
+                    depth += 1
+                    applied += 1
+                new_states[position] = (closed, stage, ideal, depth, tail, root_idx)
+            if not new_states:
+                return None
+            current = new_states
+        self._bm_generated += applied
+        self._bm_expanded += len(record.levels)
+        # Reconstruct the exit beam (final level is needed in full, so the
+        # positions are contiguous and sorting restores the template order).
+        out: List[_SearchNode] = []
+        for position in sorted(current):
+            closed, stage, ideal, depth, tail, root_idx = current[position]
+            exit_state = self._reconstruct_exit(
+                states[root_idx],
+                record.exit_rel[position],
+                info,
+                closed,
+                stage,
+                ideal,
+                depth,
+                tail,
+            )
+            out.append(exit_state)
+        return out
+
+    def _replay_runtime(self, rule: Rule, ratios: Sequence[float]) -> Tuple:
+        """(cost plan, completes mask, ideal deltas, liveness candidates).
+
+        Shares the :meth:`_apply_fast` runtime cache; safe to populate even
+        when cost memoization is off, because the memoized plans replay the
+        identical float operations.
+        """
+        rid = id(rule)
+        runtime = self._rule_runtime.get(rid)
+        if runtime is None:
+            runtime = self._rule_runtime[rid] = (
+                self._rule_plan(rule, ratios),
+                *self._rule_static(rule),
+            )
+        return runtime
+
+    def _reconstruct_exit(
+        self,
+        root: _SearchNode,
+        exit_rel: Tuple,
+        info: _OccurrenceInfo,
+        closed: float,
+        stage: Tuple[float, ...],
+        ideal: float,
+        depth: int,
+        tail: _SearchNode,
+    ) -> _SearchNode:
+        """Build a full exit state from pass-through context + template encoding."""
+        rel_props, rel_comm, rel_completed = exit_rel
+        ref_idx = info.ref_idx
+        occ_refs = info.occ_refs
+        props = [p for p in root.properties if p.ref not in ref_idx]
+        props.extend(Property(occ_refs[i], state) for i, state in rel_props)
+        properties: FrozenSet[Property] = frozenset(props)
+        communicated_set = {c for c in root.communicated if c not in ref_idx}
+        communicated_set.update(occ_refs[i] for i in rel_comm)
+        communicated: FrozenSet[str] = frozenset(communicated_set)
+        completed = root.completed & ~info.relevant_mask
+        for i in rel_completed:
+            completed |= info.ref_bits[i]
+        prop_sid = comm_sid = -1
+        if self._fast_sids:
+            properties, prop_sid = self._intern_propset(properties)
+            communicated, comm_sid = self._intern_commset(communicated)
+        node = _SearchNode.__new__(_SearchNode)
+        node.parent = tail.parent
+        node.rule = tail.rule
+        node.properties = properties
+        node.completed = completed
+        node.communicated = communicated
+        node.closed_cost = closed
+        node.stage_comp = stage
+        node.completed_ideal = ideal
+        node.depth = depth
+        node.topo_ptr = self._advance_topo_ptr(root.topo_ptr, completed)
+        node.prop_sid = prop_sid
+        node.comm_sid = comm_sid
+        return node
+
+    def _translate_descriptor(
+        self, descriptor: Tuple, info: _OccurrenceInfo, node_name: str
+    ) -> Optional[Rule]:
+        """Resolve a block-local rule descriptor against this occurrence.
+
+        Candidate rules (the node's sharding variants, or the reference's
+        collectives) are indexed by structural signature once per occurrence
+        and cached on the occurrence info, so repeated replays — including
+        across planner rounds with different ratios — are dictionary lookups.
+        """
+        kind, lookup, sig = descriptor
+        if sig is None:
+            return None
+        map_key = (kind, node_name) if kind == "comp" else (kind, lookup)
+        sigmap = info.sigmaps.get(map_key)
+        if sigmap is None:
+            if kind == "comp":
+                candidates = self.theory.comp_rules_by_node.get(node_name, [])
+            else:
+                candidates = self.theory.comm_rules_by_ref.get(info.occ_refs[lookup], [])
+            sigmap = {}
+            for candidate in candidates:
+                candidate_sig = self._rule_sig(candidate, info.ref_idx)
+                if candidate_sig is not None and candidate_sig not in sigmap:
+                    sigmap[candidate_sig] = candidate
+            info.sigmaps[map_key] = sigmap
+        return sigmap.get(sig)
 
     def _expand_with_rule(
         self, state: _SearchNode, rule: Rule, ratios: Sequence[float]
     ) -> List[_SearchNode]:
         """Apply a computation rule, inserting enabling collectives if needed."""
-        missing = [p for p in rule.pre if p not in state.properties]
+        missing = [p for p in self._ordered_pre(rule) if p not in state.properties]
         if self._indexing:
             if state.completed & self._completes_mask[id(rule)]:
                 return []
@@ -768,6 +1301,38 @@ class ProgramSynthesizer:
                 current = self._apply(current, comm, ratios)
             results.append(self._apply(current, rule, ratios))
         return results
+
+    def _ordered_pre(self, rule: Rule) -> Tuple[Property, ...]:
+        """Preconditions of a rule in a deterministic, name-independent order.
+
+        ``rule.pre`` is a frozenset, whose iteration order depends on the hash
+        values of the reference names; enumerating missing preconditions in
+        that order would make both the generated-children order and the
+        enabling-collective instruction order vary between isomorphic graphs
+        (and with ``PYTHONHASHSEED``).  The computation instruction's input
+        order is structural, so it is used as the primary order, with any
+        leftover preconditions appended in sorted order.
+        """
+        entry = self._pre_order_cache.get(id(rule))
+        if entry is None:
+            ordered: List[Property] = []
+            primary = rule.instructions[-1] if rule.instructions else None
+            if isinstance(primary, CompInstruction):
+                for prop in primary.inputs:
+                    if prop in rule.pre and prop not in ordered:
+                        ordered.append(prop)
+            if len(ordered) < len(rule.pre):
+                leftover = sorted(
+                    (p for p in rule.pre if p not in ordered),
+                    key=lambda p: (
+                        p.ref,
+                        p.state.kind.value,
+                        -1 if p.state.dim is None else p.state.dim,
+                    ),
+                )
+                ordered.extend(leftover)
+            entry = self._pre_order_cache[id(rule)] = tuple(ordered)
+        return entry
 
     # -- unrestricted A* search (Fig. 10) ----------------------------------------------
     def _greedy_complete(

@@ -18,6 +18,15 @@ from .analysis import (
     segment_flops,
     segment_graph,
 )
+from .canonical import (
+    BlockRun,
+    canonical_order,
+    canonical_rename_map,
+    find_repeated_blocks,
+    fingerprint_with_order,
+    graph_fingerprint,
+    structural_hashes,
+)
 
 __all__ = [
     "DType",
@@ -46,4 +55,11 @@ __all__ = [
     "pipeline_cut",
     "segment_flops",
     "segment_graph",
+    "BlockRun",
+    "canonical_order",
+    "canonical_rename_map",
+    "find_repeated_blocks",
+    "fingerprint_with_order",
+    "graph_fingerprint",
+    "structural_hashes",
 ]

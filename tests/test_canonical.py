@@ -1,0 +1,255 @@
+"""Canonical fingerprints and repeated-block detection (graph/canonical.py).
+
+The cache layer keys plans by graph fingerprints, so the fingerprint must be
+*invariant* under everything that does not change the planning problem (node
+names, insertion order of independent branches) and *sensitive* to everything
+that does (shapes, attributes, dtypes, wiring).  A false positive would alias
+two distinct problems in the cache; a false negative only costs a miss.
+"""
+
+import pytest
+
+from repro.autodiff import build_training_graph
+from repro.graph import (
+    ComputationGraph,
+    DType,
+    GraphBuilder,
+    canonical_order,
+    canonical_rename_map,
+    find_repeated_blocks,
+    fingerprint_with_order,
+    graph_fingerprint,
+    structural_hashes,
+)
+
+
+def _mlp_graph(names, hidden=(8, 4), shape=(16, 8), dtype=DType.FLOAT32, scale=0.5):
+    """Small forward graph with externally controlled node names."""
+    g = ComputationGraph("g")
+    g.add_node(names["x"], "placeholder", (), {"shape": shape, "dtype": dtype})
+    g.add_node(names["w1"], "parameter", (), {"shape": (shape[1], hidden[0])})
+    g.add_node(names["h"], "matmul", (names["x"], names["w1"]), {})
+    g.add_node(names["a"], "relu", (names["h"],), {})
+    g.add_node(names["s"], "scale", (names["a"],), {"factor": scale})
+    g.add_node(names["w2"], "parameter", (), {"shape": (hidden[0], hidden[1])})
+    g.add_node(names["y"], "matmul", (names["s"], names["w2"]), {})
+    return g
+
+
+NAMES_A = {k: k for k in ("x", "w1", "h", "a", "s", "w2", "y")}
+NAMES_B = {
+    "x": "input",
+    "w1": "weight_one",
+    "h": "hidden",
+    "a": "activated",
+    "s": "scaled",
+    "w2": "weight_two",
+    "y": "logits",
+}
+
+
+class TestFingerprintInvariance:
+    def test_invariant_under_renaming(self):
+        a, b = _mlp_graph(NAMES_A), _mlp_graph(NAMES_B)
+        assert graph_fingerprint(a) == graph_fingerprint(b)
+
+    def test_rename_map_is_the_isomorphism(self):
+        a, b = _mlp_graph(NAMES_A), _mlp_graph(NAMES_B)
+        fp, order = fingerprint_with_order(a)
+        rename = canonical_rename_map(order, b)
+        for old in NAMES_A.values():
+            new = rename[old]
+            assert a[old].op == b[new].op
+            assert a[old].spec == b[new].spec
+            assert tuple(rename[i] for i in a[old].inputs) == tuple(b[new].inputs)
+
+    def test_invariant_under_branch_insertion_order(self):
+        """Independent branches with distinct content can be built in any order.
+
+        The branches must be distinguishable from their sources up (here by
+        parameter shape): ancestor-identical *twins* tie-break by insertion
+        index, which is the documented — cache-safe — false-negative case.
+        """
+
+        def build(first):
+            g = ComputationGraph("g")
+            g.add_node("x", "placeholder", (), {"shape": (8, 4), "dtype": DType.FLOAT32})
+            branches = {
+                "p": [("wp", "parameter", (), {"shape": (4, 4)}),
+                      ("mp", "matmul", ("x", "wp"), {}),
+                      ("rp", "reduce_sum", ("mp",), {})],
+                "q": [("wq", "parameter", (), {"shape": (4, 6)}),
+                      ("mq", "matmul", ("x", "wq"), {}),
+                      ("gq", "reduce_sum", ("mq",), {})],
+            }
+            for key in (("p", "q") if first == "p" else ("q", "p")):
+                for name, op, inputs, attrs in branches[key]:
+                    g.add_node(name, op, inputs, attrs)
+            g.add_node("sum", "add", ("rp", "gq"), {})
+            return g
+
+        p, q = build("p"), build("q")
+        assert graph_fingerprint(p) == graph_fingerprint(q)
+        # ... and the canonical orders line up node for node.
+        rename = canonical_rename_map(canonical_order(p), q)
+        assert all(old == new for old, new in rename.items())
+
+    def test_twin_branches_may_miss_but_never_alias(self):
+        """Ancestor-identical twin branches permuted in insertion order may
+        produce different fingerprints (a cache miss) — the safe direction.
+        What they must never do is alias a graph with different content."""
+
+        def build(first, gelu_branch="q"):
+            g = ComputationGraph("g")
+            g.add_node("x", "placeholder", (), {"shape": (8, 4), "dtype": DType.FLOAT32})
+            order = ("p", "q") if first == "p" else ("q", "p")
+            for key in order:
+                act = "gelu" if key == gelu_branch else "relu"
+                g.add_node(f"w{key}", "parameter", (), {"shape": (4, 4)})
+                g.add_node(f"m{key}", "matmul", ("x", f"w{key}"), {})
+                g.add_node(f"a{key}", act, (f"m{key}",), {})
+            g.add_node("sum", "add", ("ap", "aq"), {})
+            return g
+
+        # Same content, same insertion order: always equal.
+        assert graph_fingerprint(build("p")) == graph_fingerprint(build("p"))
+        # Different activation placement is different content: never equal.
+        assert graph_fingerprint(build("p", "q")) != graph_fingerprint(build("p", "p"))
+
+    def test_registry_style_rename(self):
+        """Renaming every layer prefix of a transformer leaves the print alone."""
+
+        def build(prefix):
+            b = GraphBuilder("t")
+            x = b.placeholder((4, 4, 16), name="x")
+            h = b.transformer_layer(x, num_heads=2, ffn_hidden=32, prefix=prefix)
+            b.loss(b.reduce_mean(h))
+            return b.build()
+
+        assert graph_fingerprint(build("layer")) == graph_fingerprint(build("enc"))
+
+
+class TestFingerprintSensitivity:
+    def test_sensitive_to_shape(self):
+        assert graph_fingerprint(_mlp_graph(NAMES_A, shape=(16, 8))) != graph_fingerprint(
+            _mlp_graph(NAMES_A, shape=(32, 8))
+        )
+
+    def test_sensitive_to_attr(self):
+        assert graph_fingerprint(_mlp_graph(NAMES_A, scale=0.5)) != graph_fingerprint(
+            _mlp_graph(NAMES_A, scale=0.25)
+        )
+
+    def test_sensitive_to_dtype(self):
+        a = ComputationGraph("a")
+        a.add_node("x", "placeholder", (), {"shape": (8,), "dtype": DType.FLOAT32})
+        b = ComputationGraph("b")
+        b.add_node("x", "placeholder", (), {"shape": (8,), "dtype": DType.INT64})
+        assert graph_fingerprint(a) != graph_fingerprint(b)
+
+    def test_sensitive_to_wiring(self):
+        def build(swap):
+            g = ComputationGraph("g")
+            g.add_node("x", "placeholder", (), {"shape": (4, 4), "dtype": DType.FLOAT32})
+            g.add_node("y", "placeholder", (), {"shape": (4, 4), "dtype": DType.FLOAT32})
+            g.add_node("r", "relu", ("x",), {})
+            g.add_node("g1", "gelu", ("y",), {})
+            first, second = ("g1", "r") if swap else ("r", "g1")
+            g.add_node("m", "matmul", (first, second), {})
+            return g
+
+        assert graph_fingerprint(build(False)) != graph_fingerprint(build(True))
+
+    def test_sensitive_to_loss_marker(self):
+        a, b = _mlp_graph(NAMES_A), _mlp_graph(NAMES_A)
+        b_loss = b.add_node("l", "reduce_mean", ("y",), {})
+        a.add_node("l", "reduce_mean", ("y",), {})
+        b.mark_loss("l")
+        assert graph_fingerprint(a) != graph_fingerprint(b)
+
+
+class TestStructuralHashes:
+    def test_equal_subtrees_share_hashes(self):
+        g = ComputationGraph("g")
+        g.add_node("x", "placeholder", (), {"shape": (4, 4), "dtype": DType.FLOAT32})
+        g.add_node("r1", "relu", ("x",), {})
+        g.add_node("r2", "relu", ("x",), {})
+        hashes = structural_hashes(g)
+        assert hashes["r1"] == hashes["r2"]
+        assert hashes["r1"] != hashes["x"]
+
+
+def _deep_transformer(layers=3, batch=8, seq=4, hidden=16, heads=2):
+    b = GraphBuilder("deep")
+    ids = b.placeholder((batch, seq), dtype=DType.INT64, name="input_ids")
+    table = b.parameter((50, hidden), name="embed_table")
+    x = b.embedding(ids, table)
+    for i in range(layers):
+        x = b.transformer_layer(x, num_heads=heads, ffn_hidden=hidden * 2, prefix=f"layer{i}")
+    x = b.reshape(x, (batch * seq, hidden))
+    logits = b.linear(x, 7)
+    labels2d = b.placeholder((batch, seq), dtype=DType.INT64, name="labels")
+    labels = b.reshape(labels2d, (batch * seq,))
+    b.loss(b.cross_entropy(logits, labels))
+    return b.build()
+
+
+class TestRepeatedBlocks:
+    @pytest.fixture(scope="class")
+    def training(self):
+        return build_training_graph(_deep_transformer()).graph
+
+    def test_finds_layer_blocks(self, training):
+        runs = find_repeated_blocks(training)
+        assert runs, "a 3-layer transformer training graph must contain repeats"
+        # Every run repeats at least twice and never overlaps another run.
+        claimed = set()
+        for run in runs:
+            assert run.num_occurrences >= 2
+            assert run.occurrence_starts[0] == run.start
+            for s in run.occurrence_starts:
+                span = set(range(s, s + run.length))
+                assert not span & claimed
+                claimed |= span
+        # The forward/backward/optimizer repeats should cover most positions.
+        order = [n.name for n in training if n.kind.name != "SOURCE"]
+        assert len(claimed) > len(order) // 2
+
+    def test_occurrence_maps_preserve_content(self, training):
+        order = [n.name for n in training if n.kind.name != "SOURCE"]
+        for run in find_repeated_blocks(training):
+            assert set(run.maps[0].keys()) == set(run.refs)
+            assert all(run.maps[0][r] == r for r in run.refs)
+            block_nodes = set(order[run.start : run.start + run.length])
+            for mapping in run.maps[1:]:
+                for src, dst in mapping.items():
+                    # Specs always carry over; ops must match for the block's
+                    # own nodes and for source inputs.  External *activation*
+                    # inputs pair by spec only — a backward block's forward
+                    # activation legitimately comes from a different op per
+                    # occurrence (embedding output vs residual add).
+                    assert training[src].spec == training[dst].spec
+                    if src in block_nodes or training[src].kind.name == "SOURCE":
+                        assert training[src].op == training[dst].op
+
+    def test_detection_is_name_independent(self, training):
+        renamed = ComputationGraph("renamed")
+        new_name = {name: f"n{i}" for i, name in enumerate(training.node_names)}
+        for node in training:
+            renamed.add_node(
+                new_name[node.name],
+                node.op,
+                tuple(new_name[i] for i in node.inputs),
+                dict(node.attrs),
+            )
+        if training.loss is not None:
+            renamed.mark_loss(new_name[training.loss])
+        original = find_repeated_blocks(training)
+        mirrored = find_repeated_blocks(renamed)
+        assert [(r.start, r.length, r.occurrence_starts) for r in original] == [
+            (r.start, r.length, r.occurrence_starts) for r in mirrored
+        ]
+
+    def test_min_saved_filters_small_runs(self, training):
+        runs = find_repeated_blocks(training, min_saved=10**9)
+        assert runs == []

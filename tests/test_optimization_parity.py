@@ -8,10 +8,19 @@ synthesizer with each optimisation disabled individually and all disabled at
 once, and compare against the fully optimised default.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.autodiff import build_training_graph
-from repro.core import ProgramSynthesizer, SynthesisConfig
+from repro.core import (
+    HierarchicalConfig,
+    HierarchicalPlanner,
+    PlannerConfig,
+    ProgramSynthesizer,
+    SynthesisConfig,
+)
+from repro.graph import DType, GraphBuilder
 
 from .conftest import build_mlp, build_tiny_moe, build_tiny_transformer, make_cluster
 
@@ -128,6 +137,111 @@ class TestAStarParity:
         optimised = run()
         naive = run(**{flag: False for flag in OPT_FLAGS})
         _assert_identical(optimised, naive, "tiny/astar-unrestricted/all-off")
+
+
+def build_deep_transformer(layers, batch=8, seq=4, hidden=16, heads=2):
+    """Multi-layer transformer: the repeated layers are what block reuse and
+    sub-plan dedupe exploit (the single-layer registry models never repeat)."""
+    b = GraphBuilder("deep")
+    ids = b.placeholder((batch, seq), dtype=DType.INT64, name="input_ids")
+    table = b.parameter((50, hidden), name="embed_table")
+    x = b.embedding(ids, table)
+    for i in range(layers):
+        x = b.transformer_layer(x, num_heads=heads, ffn_hidden=hidden * 2, prefix=f"layer{i}")
+    x = b.reshape(x, (batch * seq, hidden))
+    logits = b.linear(x, 7)
+    labels2d = b.placeholder((batch, seq), dtype=DType.INT64, name="labels")
+    labels = b.reshape(labels2d, (batch * seq,))
+    b.loss(b.cross_entropy(logits, labels))
+    return b.build()
+
+
+class TestBlockReuseParity:
+    """``enable_block_reuse`` replays recorded rule chains across repeated
+    layer blocks; the replay must be bit-identical to searching each block."""
+
+    @pytest.fixture(scope="class")
+    def deep_training(self):
+        return build_training_graph(build_deep_transformer(layers=3)).graph
+
+    def test_block_reuse_is_result_identical(self, deep_training, parity_cluster):
+        reference = _synthesize(deep_training, parity_cluster, "beam")
+        config = SynthesisConfig(
+            search_strategy="beam", beam_width=8, enable_block_reuse=True
+        )
+        synthesizer = ProgramSynthesizer(deep_training, parity_cluster, config)
+        reused = synthesizer.synthesize()
+        _assert_identical(reference, reused, "deep/beam/block-reuse")
+        # The flag must actually replay — a silent no-op would pass parity.
+        assert synthesizer.reuse_stats["replayed"] > 0
+        assert synthesizer.reuse_stats["fallbacks"] == 0
+
+    def test_block_reuse_composes_with_other_flags_off(
+        self, deep_training, parity_cluster
+    ):
+        reference = _synthesize(deep_training, parity_cluster, "beam")
+        reused = _synthesize(
+            deep_training,
+            parity_cluster,
+            "beam",
+            enable_block_reuse=True,
+            **{flag: False for flag in OPT_FLAGS},
+        )
+        _assert_identical(reference, reused, "deep/beam/block-reuse+all-off")
+
+    def test_block_reuse_across_ratio_changes(self, deep_training, parity_cluster):
+        """Replayed rule costs are recomputed when the shard ratios change."""
+        config = SynthesisConfig(
+            search_strategy="beam", beam_width=8, enable_block_reuse=True
+        )
+        synthesizer = ProgramSynthesizer(deep_training, parity_cluster, config)
+        reference = ProgramSynthesizer(
+            deep_training, parity_cluster, SynthesisConfig(search_strategy="beam", beam_width=8)
+        )
+        for ratios in ([0.25] * 4, [0.4, 0.3, 0.2, 0.1], [0.25] * 4):
+            _assert_identical(
+                reference.synthesize(ratios),
+                synthesizer.synthesize(ratios),
+                f"deep/beam/block-reuse/ratios={ratios}",
+            )
+
+
+class TestSubplanDedupeParity:
+    """``dedupe_subplans`` plans one flat HAP problem per distinct (chunk
+    content, group) pair and renames the plan onto isomorphic chunks; the
+    resulting hierarchical plan must be identical to planning every chunk."""
+
+    def test_dedupe_is_result_identical(self):
+        forward = build_deep_transformer(layers=8)
+        # Two *identical* machine groups: isomorphic chunks then share a
+        # (fingerprint, group-signature) key across stages and dedupe.
+        cluster = make_cluster(("A100", "A100", "A100", "A100"), group=True)
+        base = HierarchicalConfig(
+            planner=PlannerConfig(
+                max_rounds=1,
+                synthesis=SynthesisConfig(search_strategy="beam", beam_width=4),
+            ),
+            max_stages=2,
+            schedules=["interleaved-1f1b"],
+            num_model_chunks=2,
+        )
+        deduped = HierarchicalPlanner(forward, cluster, base).plan()
+        replanned = HierarchicalPlanner(
+            forward, cluster, dataclasses.replace(base, dedupe_subplans=False)
+        ).plan()
+
+        assert deduped.reuse_stats["subplans_deduped"] > 0
+        assert replanned.reuse_stats["subplans_deduped"] == 0
+        assert deduped.estimated_time == replanned.estimated_time
+        assert deduped.schedule_name == replanned.schedule_name
+        assert deduped.num_stages == replanned.num_stages
+        chunks_a = [c for s in deduped.stages for c in s.chunks]
+        chunks_b = [c for s in replanned.stages for c in s.chunks]
+        assert len(chunks_a) == len(chunks_b)
+        for a, b in zip(chunks_a, chunks_b):
+            assert a.virtual_index == b.virtual_index
+            assert list(a.plan.program.instructions) == list(b.plan.program.instructions)
+            assert a.plan.estimated_time.total == b.plan.estimated_time.total
 
 
 class TestParityAcrossRatios:

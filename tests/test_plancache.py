@@ -1,0 +1,232 @@
+"""Plan-cache keys, backends and plan renaming (core/plancache.py).
+
+The cache must never alias distinct planning problems: any change to graph
+content, device compute/memory, network model, or configuration must change
+the key.  Conversely a pure node renaming must *hit* — that is the entire
+point of content addressing.
+"""
+
+import pickle
+
+import pytest
+
+from repro.autodiff import build_training_graph
+from repro.cluster import ClusterSpec, Machine, NetworkSpec
+from repro.cluster.device import DeviceType
+from repro.core import (
+    CachedPlan,
+    DiskPlanCache,
+    HAPPlanner,
+    HierarchicalConfig,
+    HierarchicalPlanner,
+    InMemoryPlanCache,
+    PlannerConfig,
+    SynthesisConfig,
+    cluster_signature,
+    plan_key,
+    remap_plan,
+)
+from repro.graph import ComputationGraph, fingerprint_with_order, graph_fingerprint
+
+from .conftest import build_mlp, fast_network, make_cluster
+
+
+def small_planner_config(**synthesis):
+    return PlannerConfig(
+        max_rounds=1,
+        synthesis=SynthesisConfig(search_strategy="beam", beam_width=4, **synthesis),
+    )
+
+
+@pytest.fixture(scope="module")
+def mlp_training():
+    return build_training_graph(build_mlp()).graph
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return make_cluster(("A100", "P100"))
+
+
+class TestKeySensitivity:
+    def test_stable_for_equal_ingredients(self, mlp_training, cluster):
+        fp = graph_fingerprint(mlp_training)
+        assert plan_key(fp, cluster, small_planner_config()) == plan_key(
+            fp, cluster, small_planner_config()
+        )
+
+    def test_sensitive_to_graph_content(self, mlp_training, cluster):
+        other = build_training_graph(build_mlp(batch=64)).graph
+        config = small_planner_config()
+        assert plan_key(graph_fingerprint(mlp_training), cluster, config) != plan_key(
+            graph_fingerprint(other), cluster, config
+        )
+
+    def test_sensitive_to_device_compute(self, mlp_training):
+        fp = graph_fingerprint(mlp_training)
+        config = small_planner_config()
+        assert plan_key(fp, make_cluster(("A100", "P100")), config) != plan_key(
+            fp, make_cluster(("A100", "A100")), config
+        )
+
+    def test_sensitive_to_network_bandwidth(self, mlp_training):
+        fp = graph_fingerprint(mlp_training)
+        config = small_planner_config()
+        slow = make_cluster(("A100", "P100"), network=NetworkSpec(bandwidth=1e9))
+        fast = make_cluster(("A100", "P100"), network=NetworkSpec(bandwidth=100e9))
+        assert plan_key(fp, slow, config) != plan_key(fp, fast, config)
+
+    def test_sensitive_to_config(self, mlp_training, cluster):
+        fp = graph_fingerprint(mlp_training)
+        assert plan_key(fp, cluster, small_planner_config()) != plan_key(
+            fp, cluster, small_planner_config(enable_sfb=False)
+        )
+        assert plan_key(fp, cluster, small_planner_config()) != plan_key(
+            fp, cluster, PlannerConfig(max_rounds=2, synthesis=SynthesisConfig(beam_width=4))
+        )
+
+    def test_insensitive_to_cluster_name(self, mlp_training):
+        a = make_cluster(("A100", "P100"))
+        b = ClusterSpec(
+            a.machines, network=a.network, group_by_machine=a.group_by_machine, name="other"
+        )
+        assert cluster_signature(a) == cluster_signature(b)
+
+    def test_sensitive_to_memory_and_overlap(self, mlp_training):
+        a = make_cluster(("A100", "P100"))
+        b = ClusterSpec(
+            a.machines,
+            network=a.network,
+            group_by_machine=a.group_by_machine,
+            memory_reserve_fraction=0.1,
+        )
+        assert cluster_signature(a) != cluster_signature(b)
+
+    def test_plan_cache_field_never_keys(self, mlp_training, cluster):
+        fp = graph_fingerprint(mlp_training)
+        with_cache = HierarchicalConfig(
+            planner=small_planner_config(), plan_cache=InMemoryPlanCache()
+        )
+        without = HierarchicalConfig(planner=small_planner_config())
+        assert plan_key(fp, cluster, with_cache) == plan_key(fp, cluster, without)
+
+
+class TestBackends:
+    def test_in_memory_roundtrip(self):
+        cache = InMemoryPlanCache()
+        assert cache.get("k") is None
+        cache.put(CachedPlan(key="k", node_names=["a"], plan="payload"))
+        entry = cache.get("k")
+        assert entry is not None and entry.plan == "payload"
+        assert cache.hits == 1 and cache.misses == 1
+        assert "k" in cache and len(cache) == 1
+        cache.clear()
+        assert "k" not in cache
+
+    def test_disk_persistence(self, tmp_path):
+        first = DiskPlanCache(str(tmp_path))
+        first.put(CachedPlan(key="k", node_names=["a"], plan={"x": 1}))
+        # A fresh instance (fresh process, conceptually) reads it back.
+        second = DiskPlanCache(str(tmp_path))
+        entry = second.get("k")
+        assert entry is not None and entry.plan == {"x": 1}
+
+    def test_disk_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = DiskPlanCache(str(tmp_path))
+        (tmp_path / "bad.plan").write_bytes(b"not a pickle")
+        assert cache.get("bad") is None
+
+    def test_disk_key_mismatch_is_a_miss(self, tmp_path):
+        cache = DiskPlanCache(str(tmp_path))
+        (tmp_path / "stolen.plan").write_bytes(
+            pickle.dumps(CachedPlan(key="original", node_names=[], plan=1))
+        )
+        assert cache.get("stolen") is None
+
+
+class TestRemapPlan:
+    def test_remap_onto_renamed_graph(self, mlp_training, cluster):
+        plan = HAPPlanner(mlp_training, cluster, small_planner_config()).plan()
+        _, order = fingerprint_with_order(mlp_training)
+
+        renamed = ComputationGraph("renamed")
+        new_name = {name: f"r_{name}" for name in mlp_training.node_names}
+        for node in mlp_training:
+            renamed.add_node(
+                new_name[node.name],
+                node.op,
+                tuple(new_name[i] for i in node.inputs),
+                dict(node.attrs),
+            )
+        for out in mlp_training.outputs:
+            renamed.mark_output(new_name[out])
+        if mlp_training.loss is not None:
+            renamed.mark_loss(new_name[mlp_training.loss])
+        assert graph_fingerprint(renamed) == graph_fingerprint(mlp_training)
+
+        mapped = remap_plan(plan, order, renamed)
+        assert mapped.program.graph is renamed
+        assert mapped.estimated_time.total == plan.estimated_time.total
+        assert mapped.ratios == plan.ratios
+        assert len(mapped.program.instructions) == len(plan.program.instructions)
+        for orig, new in zip(plan.program.instructions, mapped.program.instructions):
+            assert new.node in renamed
+            if not orig.is_communication:
+                assert new.node == new_name[orig.node]
+                assert new.op == orig.op
+                assert [p.state for p in new.inputs] == [p.state for p in orig.inputs]
+            else:
+                assert new.kind == orig.kind
+                assert new.input.state == orig.input.state
+
+    def test_remap_identity_is_free(self, mlp_training, cluster):
+        plan = HAPPlanner(mlp_training, cluster, small_planner_config()).plan()
+        _, order = fingerprint_with_order(mlp_training)
+        assert remap_plan(plan, order, mlp_training) is plan
+
+
+class TestHierarchicalIntegration:
+    def test_whole_plan_warm_hit(self, cluster):
+        forward = build_mlp()
+        cache = InMemoryPlanCache()
+        config = HierarchicalConfig(
+            planner=small_planner_config(), plan_cache=cache, max_stages=2
+        )
+        cold = HierarchicalPlanner(forward, cluster, config).plan()
+        assert cold.reuse_stats["whole_plan_hit"] == 0
+        assert cold.reuse_stats["subplans_planned"] > 0
+        warm = HierarchicalPlanner(forward, cluster, config).plan()
+        assert warm.reuse_stats["whole_plan_hit"] == 1
+        assert warm.estimated_time == cold.estimated_time
+        assert warm.schedule_name == cold.schedule_name
+        assert warm.num_stages == cold.num_stages
+        # The cached entry keeps its own (cold) stats: hits never clobber it.
+        assert cold.reuse_stats["whole_plan_hit"] == 0
+
+    def test_renamed_forward_falls_back_to_chunk_cache(self, cluster):
+        forward = build_mlp()
+        renamed = ComputationGraph("renamed")
+        new_name = {name: f"r_{name}" for name in forward.node_names}
+        for node in forward:
+            renamed.add_node(
+                new_name[node.name],
+                node.op,
+                tuple(new_name[i] for i in node.inputs),
+                dict(node.attrs),
+            )
+        for out in forward.outputs:
+            renamed.mark_output(new_name[out])
+        renamed.mark_loss(new_name[forward.loss])
+
+        cache = InMemoryPlanCache()
+        config = HierarchicalConfig(
+            planner=small_planner_config(), plan_cache=cache, max_stages=1
+        )
+        cold = HierarchicalPlanner(forward, cluster, config).plan()
+        warm = HierarchicalPlanner(renamed, cluster, config).plan()
+        # Node names differ, so the whole-plan entry must NOT be replayed...
+        assert warm.reuse_stats["whole_plan_hit"] == 0
+        # ...but every chunk plan comes from the (name-independent) chunk cache.
+        assert warm.reuse_stats["subplans_planned"] == 0
+        assert warm.reuse_stats["cache_hits"] > 0
+        assert warm.estimated_time == cold.estimated_time
