@@ -5,8 +5,11 @@ the optimised hot path (the ``SynthesisConfig`` defaults) and the unoptimised
 path (every ``enable_*`` hot-path flag off) back to back in the same process,
 and writes the results to ``benchmarks/results/BENCH_synthesis.json`` (a
 git-ignored directory, so bench runs never dirty the tree) for future PRs to
-compare against.  It also A/Bs ``enable_block_reuse`` on a 48-layer BERT,
-where the synthesizer records each distinct block once and replays it.
+compare against.  Each row also times a third configuration with only
+``enable_vectorized_cost`` off (the ``vectorized_speedup`` column), isolating
+the numpy-batched beam ranking from the other hot-path wins.  It also A/Bs
+``enable_block_reuse`` on a 48-layer BERT, where the synthesizer records each
+distinct block once and replays it.
 
 Usage::
 
@@ -41,6 +44,7 @@ OPT_FLAGS = (
     "enable_state_interning",
     "enable_pareto_store",
     "enable_cost_memoization",
+    "enable_vectorized_cost",
 )
 
 
@@ -103,13 +107,18 @@ def bench_one(
     theory_seconds = time.perf_counter() - t0
 
     naive = time_synthesis(lambda: make(**{flag: False for flag in OPT_FLAGS}), repeats)
+    # Vectorized-cost A/B: every other optimisation on, only the numpy-batched
+    # beam ranking off — isolates the vectorization win from the rest.
+    scalar_rank = time_synthesis(lambda: make(enable_vectorized_cost=False), repeats)
     optimized = time_synthesis(make, repeats)
 
     naive_result = naive.pop("result")
+    scalar_result = scalar_rank.pop("result")
     optimized_result = optimized.pop("result")
     parity = (
-        naive_result.cost == optimized_result.cost
+        naive_result.cost == scalar_result.cost == optimized_result.cost
         and list(naive_result.program.instructions)
+        == list(scalar_result.program.instructions)
         == list(optimized_result.program.instructions)
     )
     return {
@@ -122,8 +131,10 @@ def bench_one(
         "beam_width": beam_width,
         "repeats": repeats,
         "naive": naive,
+        "scalar_rank": scalar_rank,
         "optimized": optimized,
         "speedup": naive["seconds"] / optimized["seconds"],
+        "vectorized_speedup": scalar_rank["seconds"] / optimized["seconds"],
         "parity": parity,
     }
 
@@ -232,7 +243,9 @@ def run_benchmark(args: argparse.Namespace) -> Dict[str, object]:
                     f"nodes={row['graph_nodes']:<4} "
                     f"naive={row['naive']['seconds']:.3f}s "
                     f"optimized={row['optimized']['seconds']:.3f}s "
-                    f"speedup={row['speedup']:.2f}x parity={row['parity']}"
+                    f"speedup={row['speedup']:.2f}x "
+                    f"(vectorized {row['vectorized_speedup']:.2f}x) "
+                    f"parity={row['parity']}"
                 )
 
     # Headline: best configuration of the largest model (most graph nodes),

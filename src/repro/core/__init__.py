@@ -1,7 +1,7 @@
 """HAP core: properties, background theory, A* synthesis, LP load balancing."""
 
 from .config import LoadBalancerConfig, PlannerConfig, SynthesisConfig
-from .costmodel import CostBreakdown, CostModel, StageCoefficients
+from .costmodel import CostBreakdown, CostModel, StageCoefficientArrays, StageCoefficients
 from .instructions import CommInstruction, CompInstruction, Instruction, is_source_op
 from .load_balancer import LoadBalanceResult, LoadBalancer, integer_shard_sizes
 from .pareto import ParetoFront, ParetoStore, dominates
@@ -37,6 +37,7 @@ __all__ = [
     "CostModel",
     "CostBreakdown",
     "StageCoefficients",
+    "StageCoefficientArrays",
     "CompInstruction",
     "CommInstruction",
     "Instruction",

@@ -66,6 +66,14 @@ class SynthesisConfig:
             cost-model evaluations across expansions.  The cached values are
             replayed in the original per-instruction order, so the accumulated
             floating-point costs are bit-identical to the unmemoized path.
+        enable_vectorized_cost: rank beam candidates with numpy array
+            arithmetic (stacked per-state cost vectors, a stable lexsort)
+            instead of per-candidate Python ``zip`` loops.  The ranking key —
+            ``(closed + open-stage critical path, total device work)`` with
+            left-to-right float accumulation — is computed by the exact same
+            elementwise operations in the exact same order, so the surviving
+            beam (and therefore the synthesized program) is bit-identical;
+            ``tests/test_optimization_parity.py`` enforces it.
         enable_block_reuse: detect repeated subgraph blocks (transformer
             layers, their backward blocks, per-layer optimizer updates) in the
             topological emulation order and replay the beam-search decisions
@@ -93,6 +101,7 @@ class SynthesisConfig:
     enable_state_interning: bool = True
     enable_pareto_store: bool = True
     enable_cost_memoization: bool = True
+    enable_vectorized_cost: bool = True
     enable_block_reuse: bool = False
     # Baseline-emulation switches (used by repro.baselines, not by HAP itself):
     # restrict the theory so only data-parallel programs exist, optionally with
@@ -110,11 +119,21 @@ class LoadBalancerConfig:
             sharding ratios (Sec. 5.2); 1 reproduces the base case of Sec. 5.1.
         respect_memory: add per-device memory-capacity constraints to the LP.
         solver_method: scipy ``linprog`` method.
+        enable_vectorized_cost: price ratio vectors through the batched
+            (numpy-stacked) cost-model path: the LP polish re-prices the
+            normalised solution in one :meth:`CostModel.evaluate_many` pass
+            (``LoadBalanceResult.polished_objective``) and the planner's
+            per-round (Q, B) pricing evaluates both ratio assignments of a
+            round in a single batched call.  The batched path accumulates
+            floats stage by stage in the scalar path's exact operation order,
+            so every reported cost is bit-identical with the flag off;
+            ``tests/test_optimization_parity.py`` enforces it.
     """
 
     num_segments: int = 1
     respect_memory: bool = False
     solver_method: str = "highs"
+    enable_vectorized_cost: bool = True
 
 
 @dataclass

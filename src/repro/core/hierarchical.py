@@ -38,8 +38,10 @@ PAPERS.md).
 
 from __future__ import annotations
 
+import concurrent.futures
 import copy
 import dataclasses
+import multiprocessing
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -60,7 +62,7 @@ from ..simulator.schedule import (
 from .config import PlannerConfig
 from .costmodel import CostModel
 from .pipeline import HAPPlan, HAPPlanner
-from .plancache import CachedPlan, InMemoryPlanCache, plan_key, remap_plan
+from .plancache import CachedPlan, DiskPlanCache, InMemoryPlanCache, plan_key, remap_plan
 from .program import DistributedProgram
 
 #: Resident bytes per parameter byte: the parameter itself plus its gradient.
@@ -132,6 +134,23 @@ class HierarchicalConfig:
             fingerprints (see :mod:`repro.core.plancache`).  ``None`` (the
             default) disables cross-call caching; within-call dedupe is
             governed by ``dedupe_subplans`` alone.
+        planner_workers: worker processes evaluating the candidate grid.  1
+            (the default) is the serial path.  With more, :meth:`plan` fans
+            the (stage count x chunk variant) cells — each cell runs the
+            expensive per-chunk flat-HAP synthesis and profiling — out to a
+            :class:`concurrent.futures.ProcessPoolExecutor` and assembles
+            the schedule search and candidate selection in the parent, in
+            the serial candidate order with the serial tie-breaks, so the
+            selected plan is **bit-identical** to ``planner_workers=1``
+            (``tests/test_parallel_planning.py`` enforces it).  Workers
+            share a configured :class:`~repro.core.plancache.DiskPlanCache`
+            by directory (synthesis done by one worker is a hit for the
+            others); an in-memory cache is snapshotted into the workers and
+            fresh entries are merged back.  The field is excluded from
+            cache keys.  ``reuse_stats`` are replayed from the workers'
+            chunk-key logs under serial semantics, so they match serial
+            bit for bit too (isomorphic chunks spanning two grid cells may
+            cost duplicated worker compute, never a different result).
     """
 
     stage_candidates: Optional[Sequence[int]] = None
@@ -149,8 +168,13 @@ class HierarchicalConfig:
     lr: float = 0.01
     dedupe_subplans: bool = True
     plan_cache: Optional[InMemoryPlanCache] = None
+    planner_workers: int = 1
 
     def __post_init__(self) -> None:
+        if self.planner_workers < 1:
+            raise ValueError(
+                f"planner_workers must be >= 1, got {self.planner_workers}"
+            )
         if self.recompute not in ("never", "always", "auto"):
             raise ValueError(
                 f"recompute must be 'never', 'always' or 'auto', got {self.recompute!r}"
@@ -187,6 +211,12 @@ class ChunkPlan:
         sharded_param_bytes: parameter bytes the chunk program shards across
             its group (each device holds its ratio's worth).
         replicated_param_bytes: parameter bytes replicated on every device.
+        content_key: content address of the (chunk graph, group, planner
+            config) planning problem (see :func:`repro.core.plancache.plan_key`);
+            ``None`` when plan reuse is disabled.  Two chunks with the same
+            key have bit-identical cost profiles (the cost model never looks
+            at node names), so the planner and simulator profile each
+            distinct key once.
     """
 
     chunk: int
@@ -199,6 +229,7 @@ class ChunkPlan:
     activation_bytes: int = 0
     sharded_param_bytes: int = 0
     replicated_param_bytes: int = 0
+    content_key: Optional[str] = None
 
     @property
     def program(self) -> DistributedProgram:
@@ -559,6 +590,17 @@ class HierarchicalPlanner:
         )
         # Within-call sub-plan dedupe table and reuse counters; reset per plan().
         self._local_plans: Dict[str, CachedPlan] = {}
+        # Cache entries created (not merely hit) by this planner — what a
+        # parallel worker ships back for merging into the parent's cache.
+        self._fresh_entries: List[CachedPlan] = []
+        # Content key of every _plan_chunk call in order (None = reuse off):
+        # the parallel parent replays these against serial reuse semantics so
+        # reuse_stats never depend on worker scheduling.
+        self._chunk_key_log: List[Optional[str]] = []
+        self._replayed_keys: Set[str] = set()
+        # content_key -> phase_profile buckets: each distinct (chunk graph,
+        # group, planner config) problem is profiled once per plan() call.
+        self._profile_memo: Dict[str, Dict[str, float]] = {}
         self.reuse_stats: Dict[str, int] = {
             "subplans_planned": 0,
             "subplans_deduped": 0,
@@ -626,7 +668,9 @@ class HierarchicalPlanner:
         return sorted(out)
 
     # -- per-candidate construction -------------------------------------------------
-    def _plan_chunk(self, graph: ComputationGraph, group: ClusterSpec) -> HAPPlan:
+    def _plan_chunk(
+        self, graph: ComputationGraph, group: ClusterSpec
+    ) -> Tuple[HAPPlan, Optional[str]]:
         """Flat-HAP plan for one chunk graph, reusing isomorphic work.
 
         Lookup order: the within-call dedupe table (isomorphic chunks planned
@@ -635,32 +679,36 @@ class HierarchicalPlanner:
         persistent cache.  Both key on content only — chunk-graph fingerprint
         x machine-group signature x planner config — and a hit is renamed
         onto this chunk's node names, so the result is identical to planning
-        from scratch.
+        from scratch.  Returns the plan and its content key (``None`` when
+        reuse is disabled and no key was computed).
         """
         reuse = self.config.dedupe_subplans or self.config.plan_cache is not None
         if not reuse:
             self.reuse_stats["subplans_planned"] += 1
-            return HAPPlanner(graph, group, self.config.planner).plan()
+            self._chunk_key_log.append(None)
+            return HAPPlanner(graph, group, self.config.planner).plan(), None
         fingerprint, order = fingerprint_with_order(graph)
         key = plan_key(fingerprint, group, self.config.planner)
+        self._chunk_key_log.append(key)
         if self.config.dedupe_subplans:
             entry = self._local_plans.get(key)
             if entry is not None:
                 self.reuse_stats["subplans_deduped"] += 1
-                return remap_plan(entry.plan, entry.node_names, graph)
+                return remap_plan(entry.plan, entry.node_names, graph), key
         if self.config.plan_cache is not None:
             entry = self.config.plan_cache.get(key)
             if entry is not None:
                 self.reuse_stats["cache_hits"] += 1
                 self._local_plans[key] = entry
-                return remap_plan(entry.plan, entry.node_names, graph)
+                return remap_plan(entry.plan, entry.node_names, graph), key
         plan = HAPPlanner(graph, group, self.config.planner).plan()
         self.reuse_stats["subplans_planned"] += 1
         entry = CachedPlan(key=key, node_names=order, plan=plan)
         self._local_plans[key] = entry
         if self.config.plan_cache is not None:
             self.config.plan_cache.put(entry)
-        return plan
+            self._fresh_entries.append(entry)
+        return plan, key
 
     def _build_stages(
         self, partition: ClusterPartition, num_chunks: int
@@ -688,7 +736,7 @@ class HierarchicalPlanner:
                 boundary_outputs=cut.cut_refs[k],
                 lr=self.config.lr,
             )
-            plan = self._plan_chunk(info.graph, partition.groups[stage_idx])
+            plan, content_key = self._plan_chunk(info.graph, partition.groups[stage_idx])
             # Bytes the chunk's *outgoing hop* actually ships: every tensor in
             # flight across virtual boundary k, including skip-connection
             # tensors produced by earlier chunks that this hop merely relays
@@ -727,6 +775,7 @@ class HierarchicalPlanner:
                     activation_bytes=activation_bytes,
                     sharded_param_bytes=sharded,
                     replicated_param_bytes=replicated,
+                    content_key=content_key,
                 )
             )
         stages = [
@@ -739,18 +788,22 @@ class HierarchicalPlanner:
         ]
         return cut, stages
 
-    def build_candidate(self, num_stages: int) -> Optional[HierarchicalPlan]:
+    def _candidate_partition(self, num_stages: int) -> ClusterPartition:
         # The intra-group network only applies to proper partitions: a single
         # group is the whole cluster and still spans the slow flat network.
         intra = self.config.intra_group_network if num_stages > 1 else None
-        partition = self.cluster.partition(num_stages, intra_group_network=intra)
+        return self.cluster.partition(num_stages, intra_group_network=intra)
+
+    def _candidate_variants(self, num_stages: int) -> List[int]:
+        """Model-chunk counts some (schedule, microbatch) combo will consume.
+
+        Flat-HAP planning per chunk is the expensive part of a candidate, so
+        an interleaved-only search skips the 1-chunk cut and a schedule with
+        no valid microbatch count (e.g. no batch divisor is a multiple of the
+        stage count) never triggers the ``s * v`` cut whose results the
+        search would discard.
+        """
         v = self.config.num_model_chunks
-        # Plan only the chunk variants some (schedule, microbatch) combo will
-        # actually consume: flat-HAP planning per chunk is the expensive part
-        # of a candidate, so an interleaved-only search skips the 1-chunk cut
-        # and a schedule with no valid microbatch count (e.g. no batch
-        # divisor is a multiple of the stage count) never triggers the s*v
-        # cut whose results the search would discard.
         needed: Set[int] = set()
         if num_stages == 1:
             needed.add(1)
@@ -759,12 +812,51 @@ class HierarchicalPlanner:
                 chunks = v if (name == "interleaved-1f1b" and v > 1) else 1
                 if self._microbatch_candidates(num_stages, name):
                     needed.add(chunks)
-        # variant key = model chunks per stage -> (cut, stages, stage times).
-        variants: Dict[int, Tuple[PipelineCut, List[StagePlan], List[StageTimes]]] = {}
-        for chunks in sorted(needed):
-            built = self._build_stages(partition, chunks)
-            if built is not None:
-                variants[chunks] = (built[0], built[1], self._stage_times(built[1]))
+        return sorted(needed)
+
+    def _build_variant(
+        self, partition: ClusterPartition, chunks: int
+    ) -> Optional[Tuple[PipelineCut, List[StagePlan], List[StageTimes]]]:
+        """Cut, plan and profile one (stage count, model-chunk count) cell.
+
+        This is the expensive, embarrassingly parallel unit of the candidate
+        grid — everything downstream (schedule search, memory checks,
+        selection) is cheap arithmetic on the returned profiles.
+        """
+        built = self._build_stages(partition, chunks)
+        if built is None:
+            return None
+        return built[0], built[1], self._stage_times(built[1])
+
+    def candidate_grid(self) -> List[Tuple[int, int]]:
+        """The full (stage count, model-chunk count) grid, in serial order.
+
+        One entry per expensive planning cell :meth:`_build_variant` has to
+        evaluate; the parallel planner dispatches exactly these cells to its
+        worker pool.  (The cheaper inner grid — schedule x microbatches x
+        recompute — is searched in the parent over each cell's profiles.)
+        """
+        return [
+            (num_stages, chunks)
+            for num_stages in self._candidates()
+            for chunks in self._candidate_variants(num_stages)
+        ]
+
+    def build_candidate(
+        self,
+        num_stages: int,
+        variants: Optional[
+            Dict[int, Tuple[PipelineCut, List[StagePlan], List[StageTimes]]]
+        ] = None,
+    ) -> Optional[HierarchicalPlan]:
+        partition = self._candidate_partition(num_stages)
+        if variants is None:
+            # variant key = model chunks per stage -> (cut, stages, times).
+            variants = {}
+            for chunks in self._candidate_variants(num_stages):
+                built = self._build_variant(partition, chunks)
+                if built is not None:
+                    variants[chunks] = built
         if not variants:
             return None  # the graph has fewer splittable layer blocks
         best = self._search_schedules(partition, variants)
@@ -811,19 +903,28 @@ class HierarchicalPlanner:
         Every chunk program is profiled individually, so the schedule
         simulator sees real per-chunk forward/backward times and real
         per-virtual-boundary bytes — including the wrap hop from the last
-        physical stage back to stage 0.
+        physical stage back to stage 0.  Chunks sharing a ``content_key``
+        (isomorphic graph, same group signature, same planner config) have
+        bit-identical profiles — the cost model never reads node names — so
+        each distinct key is profiled once per :meth:`plan` call and the
+        buckets are reused across variants and stage counts.
         """
         times: List[StageTimes] = []
         for stage in stages:
             chunk_times: List[ChunkTimes] = []
             fwd = bwd = sync = 0.0
             for chunk in stage.chunks:
-                cost_model = CostModel(
-                    chunk.plan.program.graph, stage.subcluster, overlap=self.overlap
-                )
-                buckets = cost_model.phase_profile(
-                    chunk.plan.program, chunk.ratios, chunk.forward_nodes
-                )
+                key = chunk.content_key
+                buckets = self._profile_memo.get(key) if key is not None else None
+                if buckets is None:
+                    cost_model = CostModel(
+                        chunk.plan.program.graph, stage.subcluster, overlap=self.overlap
+                    )
+                    buckets = cost_model.phase_profile(
+                        chunk.plan.program, chunk.ratios, chunk.forward_nodes
+                    )
+                    if key is not None:
+                        self._profile_memo[key] = buckets
                 chunk_times.append(
                     ChunkTimes(
                         forward=buckets["forward"],
@@ -951,6 +1052,98 @@ class HierarchicalPlanner:
             "hierarchical:" + graph_fingerprint(self.forward), self.cluster, self.config
         )
 
+    # -- parallel candidate-grid fan-out ----------------------------------------------
+    def _plan_grid_parallel(
+        self, grid: Sequence[Tuple[int, int]]
+    ) -> Dict[int, Dict[int, Tuple[PipelineCut, List[StagePlan], List[StageTimes]]]]:
+        """Evaluate the candidate grid on a process pool.
+
+        One task per (stage count, model-chunk count) cell.  A configured
+        :class:`~repro.core.plancache.DiskPlanCache` is shared with the
+        workers by directory — synthesis finished by one worker is a cache
+        hit for the others and for future runs; a plain in-memory cache is
+        snapshotted into every worker and the workers' fresh entries are
+        merged back afterwards.  Results are collected in submission order
+        (cells are independent, so completion order cannot influence the
+        outcome), and ``reuse_stats`` are reconstructed by replaying every
+        cell's chunk-key log against the serial reuse semantics (dedupe
+        table first, then the pre-dispatch warm cache).  The logs are
+        content-determined per cell, so the counters equal the serial ones
+        even when workers race each other to a shared cache key.
+        """
+        cache = self.config.plan_cache
+        cache_dir = getattr(cache, "directory", None)
+        seed_entries = None
+        warm_keys: Set[str] = cache.keys() if cache is not None else set()
+        if cache is not None and cache_dir is None:
+            seed_entries = cache.entries()
+        workers = min(self.config.planner_workers, len(grid))
+        # Ship the config without the live cache object (workers rebuild
+        # their own view from cache_dir / seed_entries) and already serial.
+        base_config = dataclasses.replace(
+            self.config, plan_cache=None, planner_workers=1
+        )
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # platforms without fork: use the default method
+            context = multiprocessing.get_context()
+        variants: Dict[int, Dict[int, Tuple[PipelineCut, List[StagePlan], List[StageTimes]]]] = {}
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _plan_variant_task,
+                    self.forward,
+                    self.cluster,
+                    base_config,
+                    cache_dir,
+                    seed_entries,
+                    num_stages,
+                    chunks,
+                )
+                for num_stages, chunks in grid
+            ]
+            for future in futures:
+                num_stages, chunks, built, key_log, fresh = future.result()
+                if built is not None:
+                    variants.setdefault(num_stages, {})[chunks] = built
+                self._replay_reuse_stats(key_log, warm_keys)
+                for entry in fresh:
+                    if cache is not None:
+                        cache.put(entry)
+                    self._local_plans.setdefault(entry.key, entry)
+        return variants
+
+    def _replay_reuse_stats(
+        self, key_log: Sequence[Optional[str]], warm_keys: Set[str]
+    ) -> None:
+        """Accumulate one cell's chunk keys under serial reuse semantics.
+
+        Serial :meth:`_plan_chunk` resolves each chunk as dedupe-table hit,
+        then cache hit, then fresh plan; the table and the cache fill as the
+        call proceeds.  Replaying the (content-determined) key sequences in
+        serial cell order against the pre-dispatch warm-key set reproduces
+        those counters exactly — independent of which worker actually
+        synthesized or raced a shared-cache key.
+        """
+        seen = self._replayed_keys
+        for key in key_log:
+            if key is None:
+                self.reuse_stats["subplans_planned"] += 1
+            elif key in seen:
+                if self.config.dedupe_subplans:
+                    self.reuse_stats["subplans_deduped"] += 1
+                else:
+                    # dedupe off: an earlier plan of this key is in the cache
+                    self.reuse_stats["cache_hits"] += 1
+            elif key in warm_keys:
+                self.reuse_stats["cache_hits"] += 1
+                seen.add(key)
+            else:
+                self.reuse_stats["subplans_planned"] += 1
+                seen.add(key)
+
     # -- main entry point -----------------------------------------------------------
     def plan(self) -> HierarchicalPlan:
         """Evaluate every candidate and return the cheapest feasible plan.
@@ -962,8 +1155,18 @@ class HierarchicalPlanner:
         request exactly (chunk plans are renamed on reuse; a whole
         hierarchical plan is not), otherwise planning falls through to the
         chunk-level cache, which is name-independent.
+
+        With ``planner_workers > 1`` the grid cells (see
+        :meth:`candidate_grid`) are planned by a process pool; the schedule
+        search and selection below run in the parent over the workers'
+        profiles, in the serial candidate order with the serial tie-breaks,
+        so the returned plan is bit-identical to the serial path.
         """
         self._local_plans = {}
+        self._fresh_entries = []
+        self._chunk_key_log = []
+        self._replayed_keys = set()
+        self._profile_memo = {}
         self.reuse_stats = {
             "subplans_planned": 0,
             "subplans_deduped": 0,
@@ -984,11 +1187,20 @@ class HierarchicalPlanner:
                 return dataclasses.replace(
                     entry.plan, reuse_stats=dict(self.reuse_stats)
                 )
+        grid = self.candidate_grid()
+        prebuilt: Optional[Dict[int, Dict[int, Tuple]]] = None
+        if self.config.planner_workers > 1 and len(grid) > 1:
+            prebuilt = self._plan_grid_parallel(grid)
         best: Optional[HierarchicalPlan] = None
         candidate_times: Dict[int, float] = {}
         combo_times: Dict[Tuple[int, str, int, bool], float] = {}
         for num_stages in self._candidates():
-            candidate = self.build_candidate(num_stages)
+            if prebuilt is not None:
+                candidate = self.build_candidate(
+                    num_stages, variants=prebuilt.get(num_stages, {})
+                )
+            else:
+                candidate = self.build_candidate(num_stages)
             if candidate is None:
                 continue
             candidate_times[num_stages] = candidate.estimated_time
@@ -1012,3 +1224,39 @@ class HierarchicalPlanner:
                 )
             )
         return best
+
+
+def _plan_variant_task(
+    forward: ComputationGraph,
+    cluster: ClusterSpec,
+    config: HierarchicalConfig,
+    cache_dir: Optional[str],
+    seed_entries: Optional[List[CachedPlan]],
+    num_stages: int,
+    chunks: int,
+):
+    """Plan one (stage count, model-chunk count) grid cell in a worker process.
+
+    Rebuilds the planning context from picklable ingredients: a
+    ``cache_dir`` opens the shared :class:`~repro.core.plancache.DiskPlanCache`
+    directory, ``seed_entries`` reconstructs a snapshot of the parent's
+    in-memory cache, and no cache at all mirrors a cache-less parent.  The
+    worker always runs serially (``planner_workers=1``) — cells are the unit
+    of parallelism, not nested pools.  Returns the built variant, the
+    ordered chunk-key log (the parent replays it into ``reuse_stats``), and
+    the cache entries the worker created (for the parent to merge back).
+    """
+    cache: Optional[InMemoryPlanCache]
+    if cache_dir is not None:
+        cache = DiskPlanCache(cache_dir)
+    elif seed_entries is not None:
+        cache = InMemoryPlanCache()
+        for entry in seed_entries:
+            cache.put(entry)
+    else:
+        cache = None
+    worker_config = dataclasses.replace(config, plan_cache=cache, planner_workers=1)
+    planner = HierarchicalPlanner(forward, cluster, worker_config)
+    partition = planner._candidate_partition(num_stages)
+    built = planner._build_variant(partition, chunks)
+    return num_stages, chunks, built, list(planner._chunk_key_log), list(planner._fresh_entries)

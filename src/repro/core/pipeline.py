@@ -119,6 +119,29 @@ class HAPPlanner:
             program, ratios[0], ratios_per_segment=per_segment, segment_of=self.segment_of
         )
 
+    def _evaluate_pair(
+        self,
+        program: DistributedProgram,
+        ratios_q: List[List[float]],
+        ratios_b: List[List[float]],
+    ) -> Tuple[CostBreakdown, CostBreakdown]:
+        """Price a round's pre- and post-balance ratios for one program.
+
+        With ``enable_vectorized_cost`` both assignments go through one
+        batched :meth:`CostModel.evaluate_many` call (the program is
+        linearised once and the stage arithmetic runs on stacked arrays);
+        otherwise two scalar :meth:`_evaluate` calls.  Evaluation is pure, so
+        the two paths return bit-identical breakdowns.
+        """
+        if self.config.load_balancer.enable_vectorized_cost:
+            sets = [
+                (r[0], {k: seg for k, seg in enumerate(r)})
+                for r in (ratios_q, ratios_b)
+            ]
+            pair = self.cost_model.evaluate_many(program, sets, self.segment_of)
+            return pair[0], pair[1]
+        return self._evaluate(program, ratios_q), self._evaluate(program, ratios_b)
+
     def _initial_ratios(self) -> List[List[float]]:
         base = self.cluster.proportional_ratios()
         segments = self.config.load_balancer.num_segments if self.segment_of else 1
@@ -137,7 +160,7 @@ class HAPPlanner:
             synthesis = self.synthesizer.synthesize(ratios[0])
             synth_seconds = _time.perf_counter() - synth_start
             program = synthesis.program
-            cost_q = self._evaluate(program, ratios)
+            ratios_q = [list(r) for r in ratios]
 
             balance_seconds = 0.0
             if self.config.enable_load_balancer:
@@ -146,7 +169,10 @@ class HAPPlanner:
                 balance_seconds = _time.perf_counter() - balance_start
                 if balance.success:
                     ratios = balance.ratios
-            cost_b = self._evaluate(program, ratios)
+            # Evaluation is pure, so pricing the pre-balance ratios after the
+            # LP (in one batched call with the post-balance ratios) yields the
+            # same numbers as pricing them before it.
+            cost_q, cost_b = self._evaluate_pair(program, ratios_q, ratios)
 
             rounds.append(
                 OptimizationRound(

@@ -19,10 +19,31 @@ reference renaming.  This module turns that observation into a cache:
   between repeated planner invocations (the first brick of
   planner-as-a-service).
 
+**Concurrency guarantee.**  One :class:`DiskPlanCache` directory may be
+shared by any number of *processes* reading and writing concurrently — this
+is the topology the parallel planner (``HierarchicalConfig.planner_workers``)
+relies on.  Every ``put`` pickles into a process-private temporary file in
+the cache directory and publishes it with :func:`os.replace`, which is atomic
+on POSIX and on NTFS: a concurrent ``get`` observes either the complete old
+entry, the complete new entry, or no file — never a torn pickle.  Racing
+writers of the *same* key are last-writer-wins, which is harmless because
+keys are content addresses: every writer of a key is storing an equivalent
+plan for the same planning problem.  A corrupt or unreadable entry (e.g. a
+file truncated by the surrounding filesystem, not by this module) is treated
+as a miss and re-written on the next ``put``.  The in-memory write-through
+layer is per-process and never shared, so no locks are needed anywhere;
+``tests/test_parallel_planning.py`` stress-tests the same-key multi-writer
+race.  :class:`InMemoryPlanCache` itself is process-local and makes no
+cross-process claims.
+
 Invalidation is purely structural: any change to the graph content, device
 specs, network model, or any configuration field changes the key, and
 :data:`CACHE_VERSION` is baked into every key so cache entries from older
-layouts of the planner can never be replayed.
+layouts of the planner can never be replayed.  Two configuration fields are
+deliberately *excluded* from keys: ``plan_cache`` (the cache never keys on
+itself) and ``planner_workers`` (how many processes evaluated the candidate
+grid cannot influence the resulting plan — the parallel planner is
+bit-identical to serial — so serial and parallel runs must share entries).
 """
 
 from __future__ import annotations
@@ -34,7 +55,7 @@ import pickle
 import tempfile
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..cluster.spec import ClusterSpec
 from ..graph.canonical import canonical_rename_map
@@ -46,7 +67,14 @@ from .properties import Property
 
 #: Bump when the plan layout or the key ingredients change: old entries are
 #: then unreachable (their keys embed the old version) instead of replayed.
-CACHE_VERSION = 1
+#: v2: ``ChunkPlan`` gained ``content_key`` and configs gained the
+#: vectorized-cost flags.
+CACHE_VERSION = 2
+
+#: Configuration fields excluded from cache keys: the cache itself, and the
+#: parallel-planner worker count (result-identical by contract, so serial and
+#: parallel runs must address the same entries).
+_NON_KEY_FIELDS = frozenset({"plan_cache", "planner_workers"})
 
 
 # -- key construction ---------------------------------------------------------------
@@ -55,7 +83,7 @@ def _canon(value) -> object:
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         fields = []
         for f in dataclasses.fields(value):
-            if f.name == "plan_cache":  # the cache never keys on itself
+            if f.name in _NON_KEY_FIELDS:
                 continue
             fields.append((f.name, _canon(getattr(value, f.name))))
         return (type(value).__name__, tuple(fields))
@@ -217,6 +245,14 @@ class InMemoryPlanCache:
     def put(self, entry: CachedPlan) -> None:
         self._entries[entry.key] = entry
 
+    def entries(self) -> List[CachedPlan]:
+        """Snapshot of every entry (used to seed parallel-planner workers)."""
+        return list(self._entries.values())
+
+    def keys(self) -> Set[str]:
+        """Keys currently resolvable by :meth:`get` (the warm set)."""
+        return set(self._entries)
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -234,6 +270,8 @@ class DiskPlanCache(InMemoryPlanCache):
     never observes a torn entry and concurrent writers of the same key are
     last-writer-wins.  Reads are write-through cached in memory.  A corrupt
     or unreadable entry is treated as a miss (and re-written on ``put``).
+    Safe to share one directory between concurrent processes — see the
+    module docstring for the exact guarantee.
     """
 
     def __init__(self, directory: str) -> None:
@@ -261,6 +299,15 @@ class DiskPlanCache(InMemoryPlanCache):
         self._entries[key] = entry
         self.hits += 1
         return entry
+
+    def keys(self) -> Set[str]:
+        """In-memory keys plus every published entry file in the directory."""
+        on_disk = {
+            name[: -len(".plan")]
+            for name in os.listdir(self.directory)
+            if name.endswith(".plan")
+        }
+        return set(self._entries) | on_disk
 
     def put(self, entry: CachedPlan) -> None:
         super().put(entry)

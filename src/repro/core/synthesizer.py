@@ -26,6 +26,8 @@ from __future__ import annotations
 import heapq
 import itertools
 import time as _time
+
+import numpy as np
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -814,10 +816,25 @@ class ProgramSynthesizer:
         # the open stage's critical path, with total device work as the
         # tie-breaker).  The A* heuristic term would be identical for all
         # states at the same level and would therefore make them tie.
-        ranked = sorted(
-            (entry[0] for entry in children.values()),
-            key=lambda s: (self._final_cost(s), sum(s.stage_comp)),
-        )
+        if self.config.enable_vectorized_cost and len(children) > 1:
+            # Stacked ranking: max over the stored (closed + stage_comp)
+            # vectors equals _final_cost exactly (adding a constant is
+            # monotonic in IEEE arithmetic), the column-wise += matches
+            # Python's left-to-right sum(), and lexsort is stable like
+            # sorted() — so the surviving beam is bit-identical.
+            entries = list(children.values())
+            vectors = np.array([e[1] for e in entries])
+            final = vectors.max(axis=1)
+            stage = np.array([e[0].stage_comp for e in entries])
+            work = np.zeros(len(entries))
+            for j in range(stage.shape[1]):
+                work += stage[:, j]
+            ranked = [entries[i][0] for i in np.lexsort((work, final))]
+        else:
+            ranked = sorted(
+                (entry[0] for entry in children.values()),
+                key=lambda s: (self._final_cost(s), sum(s.stage_comp)),
+            )
         survivors = ranked[:beam_width]
         if record_into is not None:
             origin = {id(s): i for i, s in enumerate(states)}

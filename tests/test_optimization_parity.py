@@ -1,21 +1,26 @@
 """Parity of the synthesizer's hot-path optimisations.
 
 Every optimisation behind a ``SynthesisConfig`` flag (rule indexing, state
-interning, the Pareto dominance store, cost-model memoization) is required to
-be *result-identical*: toggling it must not change the synthesized instruction
-sequence nor the estimated cost by a single bit.  These tests run the
-synthesizer with each optimisation disabled individually and all disabled at
-once, and compare against the fully optimised default.
+interning, the Pareto dominance store, cost-model memoization, vectorized
+cost evaluation) is required to be *result-identical*: toggling it must not
+change the synthesized instruction sequence nor the estimated cost by a
+single bit.  These tests run the synthesizer with each optimisation disabled
+individually and all disabled at once, and compare against the fully
+optimised default.
 """
 
 import dataclasses
 
+import numpy as np
 import pytest
 
 from repro.autodiff import build_training_graph
 from repro.core import (
+    CostModel,
+    HAPPlanner,
     HierarchicalConfig,
     HierarchicalPlanner,
+    LoadBalancerConfig,
     PlannerConfig,
     ProgramSynthesizer,
     SynthesisConfig,
@@ -29,6 +34,7 @@ OPT_FLAGS = (
     "enable_state_interning",
     "enable_pareto_store",
     "enable_cost_memoization",
+    "enable_vectorized_cost",
 )
 
 MODEL_BUILDERS = {
@@ -242,6 +248,88 @@ class TestSubplanDedupeParity:
             assert a.virtual_index == b.virtual_index
             assert list(a.plan.program.instructions) == list(b.plan.program.instructions)
             assert a.plan.estimated_time.total == b.plan.estimated_time.total
+
+
+class TestVectorizedCostParity:
+    """``evaluate_many``/``evaluate_batch`` stack the per-stage coefficients
+    into arrays but must agree with K scalar ``evaluate`` calls bit for bit."""
+
+    RATIO_SETS = [
+        ([0.25, 0.25, 0.25, 0.25], None),
+        ([0.4, 0.3, 0.2, 0.1], None),
+        ([0.1, 0.2, 0.3, 0.4], {0: [0.7, 0.1, 0.1, 0.1]}),
+    ]
+
+    @pytest.mark.parametrize("model", sorted(MODEL_BUILDERS))
+    def test_evaluate_many_matches_scalar(self, model, training_graphs, parity_cluster):
+        graph = training_graphs[model]
+        program = _synthesize(graph, parity_cluster, "beam").program
+        cost_model = CostModel(graph, parity_cluster)
+        batched = cost_model.evaluate_many(program, self.RATIO_SETS)
+        for (base, per_segment), b in zip(self.RATIO_SETS, batched):
+            scalar = cost_model.evaluate(
+                program, base, ratios_per_segment=per_segment
+            )
+            assert b.total == scalar.total
+            assert b.communication == scalar.communication
+            assert b.computation == scalar.computation
+            assert b.exposed_communication == scalar.exposed_communication
+            assert b.hidden_communication == scalar.hidden_communication
+            assert list(b.stage_times) == list(scalar.stage_times)
+
+    def test_evaluate_batch_matches_scalar(self, training_graphs, parity_cluster):
+        graph = training_graphs["mlp"]
+        program = _synthesize(graph, parity_cluster, "beam").program
+        cost_model = CostModel(graph, parity_cluster)
+        ratios = np.array([base for base, _ in self.RATIO_SETS])
+        totals = cost_model.evaluate_batch(program, ratios)
+        for k, (base, _) in enumerate(self.RATIO_SETS):
+            assert totals[k] == cost_model.evaluate(program, base).total
+
+    def test_evaluate_batch_honours_overlap_override(
+        self, training_graphs, parity_cluster
+    ):
+        graph = training_graphs["mlp"]
+        program = _synthesize(graph, parity_cluster, "beam").program
+        cost_model = CostModel(graph, parity_cluster)
+        ratios = np.array([[0.25, 0.25, 0.25, 0.25]])
+        serialized = cost_model.evaluate_batch(program, ratios, overlap=0.0)
+        assert serialized[0] == cost_model.evaluate(program, ratios[0], overlap=0.0).total
+
+    def test_memoization_off_matches(self, training_graphs, parity_cluster):
+        graph = training_graphs["mlp"]
+        program = _synthesize(graph, parity_cluster, "beam").program
+        memoized = CostModel(graph, parity_cluster)
+        plain = CostModel(graph, parity_cluster, memoize=False)
+        a = memoized.evaluate_many(program, self.RATIO_SETS)
+        b = plain.evaluate_many(program, self.RATIO_SETS)
+        assert [x.total for x in a] == [y.total for y in b]
+        # The memoized arrays are reused across calls, not rebuilt.
+        assert memoized.coefficient_arrays(program) is memoized.coefficient_arrays(program)
+
+    def test_full_planner_parity_with_flag_off(self, parity_cluster):
+        """End-to-end composition: synthesis ranking + LP polish pricing both
+        vectorized vs. both scalar must produce the same plan and history."""
+        graph = build_training_graph(build_mlp()).graph
+
+        def plan(flag):
+            config = PlannerConfig(
+                max_rounds=2,
+                synthesis=SynthesisConfig(
+                    search_strategy="beam", beam_width=8, enable_vectorized_cost=flag
+                ),
+                load_balancer=LoadBalancerConfig(enable_vectorized_cost=flag),
+            )
+            return HAPPlanner(graph, parity_cluster, config).plan()
+
+        vectorized = plan(True)
+        scalar = plan(False)
+        assert vectorized.estimated_time.total == scalar.estimated_time.total
+        assert vectorized.ratios == scalar.ratios
+        assert list(vectorized.program.instructions) == list(scalar.program.instructions)
+        for rv, rs in zip(vectorized.rounds, scalar.rounds):
+            assert rv.cost_after_synthesis == rs.cost_after_synthesis
+            assert rv.cost_after_balancing == rs.cost_after_balancing
 
 
 class TestParityAcrossRatios:
