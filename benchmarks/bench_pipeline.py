@@ -30,6 +30,12 @@ Usage::
     PYTHONPATH=src python -m benchmarks.bench_pipeline --fast     # CI-sized
     PYTHONPATH=src python -m benchmarks.bench_pipeline --max-planning-seconds 120
 
+Every testbed's chosen plan is additionally run through the static plan
+verifier (:func:`repro.verify.verify_plan`) and the wall-clock recorded as
+``verify_seconds`` next to ``planning_seconds`` — the verifier is priced
+separately and deliberately outside the ``--max-planning-seconds`` budget; an
+unverifiable plan aborts the benchmark.
+
 A **warm-cache** section re-plans the hetero testbed through an in-memory
 plan cache and records the cold/warm speedup (``warm_cache`` key); the
 ``--min-cache-speedup`` guard enforces that a warm hit stays O(lookup).
@@ -65,6 +71,7 @@ from repro.core import DiskPlanCache, HierarchicalConfig, InMemoryPlanCache
 from repro.hap import hap_pipeline
 from repro.models import BenchmarkScale, build_model
 from repro.simulator import simulate_hierarchical, simulate_pipeline
+from repro.verify import verify_plan
 
 from .conftest import bench_planner
 
@@ -299,6 +306,11 @@ def run_benchmark(fast: bool, beam: int, rounds: int, workers: int) -> Dict[str,
         start = time.perf_counter()
         plan = hap_pipeline(forward, cluster, config)
         planning_seconds = time.perf_counter() - start
+        # Price the static plan verifier separately from planning so the
+        # --max-planning-seconds guard stays a pure planner budget.
+        start = time.perf_counter()
+        verification = verify_plan(plan, forward)
+        verify_seconds = time.perf_counter() - start
         overlap_record = None
         if testbed["name"] == "hetero-bandwidth" and plan.num_stages > 1:
             overlap_record = _overlap_record(plan)
@@ -309,6 +321,8 @@ def run_benchmark(fast: bool, beam: int, rounds: int, workers: int) -> Dict[str,
                 "num_gpus": cluster.num_gpus,
                 "batch_per_device": scale.batch_per_device,
                 "planning_seconds": planning_seconds,
+                "verify_seconds": verify_seconds,
+                "verified_ok": verification.ok,
                 "num_stages": plan.num_stages,
                 "schedule": plan.schedule_name,
                 "num_microbatches": plan.num_microbatches,
@@ -326,8 +340,12 @@ def run_benchmark(fast: bool, beam: int, rounds: int, workers: int) -> Dict[str,
             f"{testbed['name']:>20s}: planned in {planning_seconds:6.1f}s -> "
             f"{plan.num_stages} stage(s), {plan.schedule_name} x{plan.num_microbatches} mb, "
             f"est {plan.estimated_time * 1e3:.1f} ms "
-            f"({len(plan.schedule_candidate_times)} candidates)"
+            f"({len(plan.schedule_candidate_times)} candidates), "
+            f"verified in {verify_seconds * 1e3:.0f} ms"
         )
+        if not verification.ok:
+            print(verification.describe(), file=sys.stderr)
+            raise SystemExit(f"planner emitted an unverifiable plan on {testbed['name']}")
         if overlap_record:
             for name, rec in overlap_record["schedules"].items():
                 print(

@@ -9,8 +9,8 @@ These quantify the design choices called out in DESIGN.md.
 import time
 
 from repro.autodiff import build_training_graph
-from repro.core import CostModel, LoadBalancer, ProgramSynthesizer, SynthesisConfig
 from repro.cluster import heterogeneous_testbed
+from repro.core import CostModel, LoadBalancer, ProgramSynthesizer, SynthesisConfig
 from repro.models import BenchmarkScale, build_model
 
 from .conftest import FULL

@@ -14,6 +14,7 @@ isolates the systems:
 """
 
 from .planners import (
+    BASELINE_NAMES,
     BaselinePlan,
     estimate_memory_per_device,
     plan_baseline,
@@ -23,7 +24,6 @@ from .planners import (
     plan_hap,
     plan_hap_pipeline,
     plan_tag_like,
-    BASELINE_NAMES,
 )
 
 __all__ = [

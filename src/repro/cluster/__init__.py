@@ -1,6 +1,7 @@
 """Cluster substrate: device catalogue, cluster specs and simulated profiling."""
 
 from .device import DEVICE_CATALOG, GB, DeviceType, Machine, VirtualDevice, device_type
+from .profiler import ClusterProfile, LinearCommModel, SimulatedProfiler
 from .spec import (
     DEFAULT_COMM_OVERLAP_EFFICIENCY,
     ClusterPartition,
@@ -15,7 +16,6 @@ from .spec import (
     homogeneous_testbed,
     p100_a100_mixed,
 )
-from .profiler import ClusterProfile, LinearCommModel, SimulatedProfiler
 
 __all__ = [
     "DEVICE_CATALOG",

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from .device import GB, DeviceType, Machine, VirtualDevice, device_type
+from .device import Machine, VirtualDevice, device_type
 
 
 #: Default fraction of a collective/transfer that hides behind independent

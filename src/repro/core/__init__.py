@@ -2,14 +2,18 @@
 
 from .config import LoadBalancerConfig, PlannerConfig, SynthesisConfig
 from .costmodel import CostBreakdown, CostModel, StageCoefficientArrays, StageCoefficients
+from .hierarchical import (
+    ChunkPlan,
+    HierarchicalConfig,
+    HierarchicalPlan,
+    HierarchicalPlanner,
+    StagePlan,
+    stage_forward_graph,
+)
 from .instructions import CommInstruction, CompInstruction, Instruction, is_source_op
-from .load_balancer import LoadBalanceResult, LoadBalancer, integer_shard_sizes
+from .load_balancer import LoadBalancer, LoadBalanceResult, integer_shard_sizes
 from .pareto import ParetoFront, ParetoStore, dominates
 from .pipeline import HAPPlan, HAPPlanner, OptimizationRound
-from .program import DistributedProgram, Stage
-from .properties import DistState, Property, StateKind, partial, replicated, sharded
-from .rules import Rule, Theory, Variant, build_theory, moe_restricted_refs, node_variants
-from .synthesizer import ProgramSynthesizer, SynthesisError, SynthesisResult, synthesize_program
 from .plancache import (
     CACHE_VERSION,
     CachedPlan,
@@ -21,14 +25,10 @@ from .plancache import (
     remap_plan,
     remap_program,
 )
-from .hierarchical import (
-    ChunkPlan,
-    HierarchicalConfig,
-    HierarchicalPlan,
-    HierarchicalPlanner,
-    StagePlan,
-    stage_forward_graph,
-)
+from .program import DistributedProgram, Stage
+from .properties import DistState, Property, StateKind, partial, replicated, sharded
+from .rules import Rule, Theory, Variant, build_theory, moe_restricted_refs, node_variants
+from .synthesizer import ProgramSynthesizer, SynthesisError, SynthesisResult, synthesize_program
 
 __all__ = [
     "SynthesisConfig",

@@ -2,8 +2,25 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional
+
+
+def verify_default() -> bool:
+    """Default of the ``verify_after_plan`` flags.
+
+    Reads the ``REPRO_VERIFY`` environment variable so test runs can turn the
+    static verifier on for every plan any test builds (``tests/conftest.py``
+    sets it) without threading the flag through every config construction.
+    Unset/0/false means off — production planning opts in explicitly.
+    """
+    return os.environ.get("REPRO_VERIFY", "0").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "no",
+    )
 
 
 @dataclass
@@ -84,6 +101,15 @@ class SynthesisConfig:
             mismatch falls back to full expansion (and re-records the block),
             so the synthesized program is identical to the flag-off path.
             Only the level-synchronised beam search uses it.
+        verify_after_plan: run the static program verifier
+            (:func:`repro.verify.verify_program` — dataflow, collective
+            legality, compute-flag and cost-accounting checks) on the
+            synthesized program at the end of every
+            :meth:`~repro.core.pipeline.HAPPlanner.plan` call, raising
+            :class:`~repro.verify.base.PlanVerificationError` on any
+            error-severity diagnostic.  Defaults to the ``REPRO_VERIFY``
+            environment variable (on in tests); excluded from plan-cache keys
+            (verification never changes the plan).
     """
 
     enable_sfb: bool = True
@@ -103,6 +129,7 @@ class SynthesisConfig:
     enable_cost_memoization: bool = True
     enable_vectorized_cost: bool = True
     enable_block_reuse: bool = False
+    verify_after_plan: bool = field(default_factory=verify_default)
     # Baseline-emulation switches (used by repro.baselines, not by HAP itself):
     # restrict the theory so only data-parallel programs exist, optionally with
     # expert parallelism for rank-3 (expert) parameters.

@@ -59,7 +59,7 @@ from ..simulator.schedule import (
     get_schedule,
     simulate_pipeline,
 )
-from .config import PlannerConfig
+from .config import PlannerConfig, verify_default
 from .costmodel import CostModel
 from .pipeline import HAPPlan, HAPPlanner
 from .plancache import CachedPlan, DiskPlanCache, InMemoryPlanCache, plan_key, remap_plan
@@ -151,6 +151,19 @@ class HierarchicalConfig:
             chunk-key logs under serial semantics, so they match serial
             bit for bit too (isomorphic chunks spanning two grid cells may
             cost duplicated worker compute, never a different result).
+        verify_after_plan: run the static plan verifier
+            (:func:`repro.verify.verify_plan` — partition, boundary,
+            round-robin, memory, per-chunk program and schedule checks) on
+            the winning plan before :meth:`~HierarchicalPlanner.plan`
+            returns, raising
+            :class:`~repro.verify.base.PlanVerificationError` on any
+            error-severity diagnostic.  Defaults to the ``REPRO_VERIFY``
+            environment variable (on in tests).  Independent of this flag,
+            every plan-cache hit is *always* structurally verified before it
+            is returned — a corrupt or stale entry becomes a diagnosed miss
+            (``reuse_stats["cache_rejects"]``) and planning falls through to
+            fresh synthesis.  Excluded from plan-cache keys (verification
+            never changes the plan).
     """
 
     stage_candidates: Optional[Sequence[int]] = None
@@ -169,6 +182,7 @@ class HierarchicalConfig:
     dedupe_subplans: bool = True
     plan_cache: Optional[InMemoryPlanCache] = None
     planner_workers: int = 1
+    verify_after_plan: bool = field(default_factory=verify_default)
 
     def __post_init__(self) -> None:
         if self.planner_workers < 1:
@@ -605,6 +619,7 @@ class HierarchicalPlanner:
             "subplans_planned": 0,
             "subplans_deduped": 0,
             "cache_hits": 0,
+            "cache_rejects": 0,
             "whole_plan_hit": 0,
         }
 
@@ -698,9 +713,23 @@ class HierarchicalPlanner:
         if self.config.plan_cache is not None:
             entry = self.config.plan_cache.get(key)
             if entry is not None:
-                self.reuse_stats["cache_hits"] += 1
-                self._local_plans[key] = entry
-                return remap_plan(entry.plan, entry.node_names, graph), key
+                # Trust-but-verify: a cached chunk plan crossed a process or
+                # filesystem boundary, so its program is structurally checked
+                # (cheap, O(instructions)) before it is accepted.  A corrupt
+                # or stale entry becomes a diagnosed miss and the chunk is
+                # re-synthesized (overwriting the bad entry below).
+                from ..verify.program import verify_program
+
+                try:
+                    remapped = remap_plan(entry.plan, entry.node_names, graph)
+                    accept = verify_program(remapped.program, check_cost=False).ok
+                except Exception:  # unreadable entry == failed verification
+                    accept = False
+                if accept:
+                    self.reuse_stats["cache_hits"] += 1
+                    self._local_plans[key] = entry
+                    return remapped, key
+                self.reuse_stats["cache_rejects"] += 1
         plan = HAPPlanner(graph, group, self.config.planner).plan()
         self.reuse_stats["subplans_planned"] += 1
         entry = CachedPlan(key=key, node_names=order, plan=plan)
@@ -1171,6 +1200,7 @@ class HierarchicalPlanner:
             "subplans_planned": 0,
             "subplans_deduped": 0,
             "cache_hits": 0,
+            "cache_rejects": 0,
             "whole_plan_hit": 0,
         }
         cache = self.config.plan_cache
@@ -1181,12 +1211,26 @@ class HierarchicalPlanner:
             forward_names = [node.name for node in self.forward]
             entry = cache.get(whole_key)
             if entry is not None and entry.extra.get("forward_names") == forward_names:
-                self.reuse_stats["whole_plan_hit"] = 1
-                # Shallow copy: the cached entry keeps its own stats and stays
-                # immutable from the caller's point of view.
-                return dataclasses.replace(
-                    entry.plan, reuse_stats=dict(self.reuse_stats)
-                )
+                # A whole plan from the cache is verified structurally (no
+                # cost re-derivation, keeping warm hits O(plan size)) before
+                # it is replayed; a corrupt entry is a diagnosed miss and
+                # planning falls through to the fresh path below.
+                from ..verify.plan import verify_plan
+
+                try:
+                    accept = verify_plan(
+                        entry.plan, self.forward, check_cost=False
+                    ).ok
+                except Exception:  # unreadable entry == failed verification
+                    accept = False
+                if accept:
+                    self.reuse_stats["whole_plan_hit"] = 1
+                    # Shallow copy: the cached entry keeps its own stats and
+                    # stays immutable from the caller's point of view.
+                    return dataclasses.replace(
+                        entry.plan, reuse_stats=dict(self.reuse_stats)
+                    )
+                self.reuse_stats["cache_rejects"] += 1
         grid = self.candidate_grid()
         prebuilt: Optional[Dict[int, Dict[int, Tuple]]] = None
         if self.config.planner_workers > 1 and len(grid) > 1:
@@ -1223,6 +1267,14 @@ class HierarchicalPlanner:
                     extra={"forward_names": forward_names},
                 )
             )
+        if self.config.verify_after_plan:
+            # Imported lazily: repro.verify depends on this module.
+            from ..verify.base import PlanVerificationError
+            from ..verify.plan import verify_plan
+
+            report = verify_plan(best, self.forward)
+            if not report.ok:
+                raise PlanVerificationError(report)
         return best
 
 

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
 from ..collectives.cost import CollectiveKind
-from .properties import DistState, Property
+from .properties import Property
 
 
 @dataclass(frozen=True)

@@ -16,14 +16,14 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..cluster.spec import ClusterSpec
 from ..graph.analysis import segment_graph
 from ..graph.graph import ComputationGraph
 from .config import PlannerConfig
 from .costmodel import CostBreakdown, CostModel
-from .load_balancer import LoadBalanceResult, LoadBalancer
+from .load_balancer import LoadBalancer
 from .program import DistributedProgram
 from .rules import build_theory
 from .synthesizer import ProgramSynthesizer, SynthesisResult
@@ -195,7 +195,7 @@ class HAPPlanner:
 
         assert best is not None  # at least one round always runs
         program, ratios, cost, synthesis = best
-        return HAPPlan(
+        plan = HAPPlan(
             program=program,
             ratios=ratios,
             estimated_time=cost,
@@ -203,3 +203,12 @@ class HAPPlanner:
             segment_of=self.segment_of,
             synthesis=synthesis,
         )
+        if self.config.synthesis.verify_after_plan:
+            # Imported lazily: repro.verify depends on this module.
+            from ..verify.base import PlanVerificationError
+            from ..verify.program import verify_program
+
+            report = verify_program(plan.program, self.cluster, plan.flat_ratios)
+            if not report.ok:
+                raise PlanVerificationError(report)
+        return plan

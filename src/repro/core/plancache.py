@@ -71,10 +71,12 @@ from .properties import Property
 #: vectorized-cost flags.
 CACHE_VERSION = 2
 
-#: Configuration fields excluded from cache keys: the cache itself, and the
+#: Configuration fields excluded from cache keys: the cache itself, the
 #: parallel-planner worker count (result-identical by contract, so serial and
-#: parallel runs must address the same entries).
-_NON_KEY_FIELDS = frozenset({"plan_cache", "planner_workers"})
+#: parallel runs must address the same entries), and the static-verifier flag
+#: (verification never changes the plan, so verified and unverified runs must
+#: share entries too).
+_NON_KEY_FIELDS = frozenset({"plan_cache", "planner_workers", "verify_after_plan"})
 
 
 # -- key construction ---------------------------------------------------------------

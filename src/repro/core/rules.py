@@ -33,14 +33,14 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..collectives.cost import CollectiveKind
 from ..graph.graph import ComputationGraph, Node
 from ..graph.ops import OpKind
 from .config import SynthesisConfig
 from .instructions import CommInstruction, CompInstruction, Instruction, is_source_op
-from .properties import DistState, Property, PropertySet, StateKind
+from .properties import DistState, Property, StateKind
 
 
 @dataclass(frozen=True)

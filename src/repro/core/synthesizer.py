@@ -26,10 +26,10 @@ from __future__ import annotations
 import heapq
 import itertools
 import time as _time
-
-import numpy as np
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from ..cluster.spec import ClusterSpec
 from ..graph.canonical import BlockRun, find_repeated_blocks

@@ -1,9 +1,6 @@
 """Experiment harness reproducing every table and figure of the evaluation."""
 
-from .harness import ComparisonResult, SystemResult, compare_systems, format_comparison
 from .figures import (
-    fig2_sharding_ratio_tradeoff,
-    fig4_all_gather_variants,
     fig13_heterogeneous_cluster,
     fig14_homogeneous_cluster,
     fig15_ablation,
@@ -11,9 +8,12 @@ from .figures import (
     fig17_uneven_experts,
     fig18_cost_model_accuracy,
     fig19_synthesis_time,
+    fig2_sharding_ratio_tradeoff,
+    fig4_all_gather_variants,
     format_rows,
     table1_models,
 )
+from .harness import ComparisonResult, SystemResult, compare_systems, format_comparison
 
 __all__ = [
     "ComparisonResult",

@@ -32,9 +32,9 @@ from ..core.synthesizer import ProgramSynthesizer
 from ..graph.builder import GraphBuilder
 from ..graph.tensor import DType
 from ..models import (
+    BenchmarkScale,
     BERTConfig,
     BERTMoEConfig,
-    BenchmarkScale,
     ViTConfig,
     build_bert,
     build_bert_moe,

@@ -1,9 +1,5 @@
 """Single-device tensor-program IR: specs, operators, graphs and analyses."""
 
-from .tensor import DType, TensorSpec, scalar, shard_offsets, shard_sizes
-from .ops import OpDef, OpKind, get_op, register_op, registered_ops
-from .graph import ComputationGraph, GraphError, Node
-from .builder import GraphBuilder
 from .analysis import (
     GraphStats,
     PipelineCut,
@@ -18,6 +14,7 @@ from .analysis import (
     segment_flops,
     segment_graph,
 )
+from .builder import GraphBuilder
 from .canonical import (
     BlockRun,
     canonical_order,
@@ -27,6 +24,9 @@ from .canonical import (
     graph_fingerprint,
     structural_hashes,
 )
+from .graph import ComputationGraph, GraphError, Node
+from .ops import OpDef, OpKind, get_op, register_op, registered_ops
+from .tensor import DType, TensorSpec, scalar, shard_offsets, shard_sizes
 
 __all__ = [
     "DType",

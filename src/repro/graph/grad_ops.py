@@ -30,7 +30,7 @@ from .ops import (
     register_op,
     registered_ops,
 )
-from .tensor import DType, TensorSpec
+from .tensor import TensorSpec
 
 
 def _register_once(op: OpDef) -> None:

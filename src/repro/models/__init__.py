@@ -4,17 +4,17 @@ from .bert import BERTConfig, build_bert, tiny_bert
 from .common import ModelInfo, model_info
 from .moe import BERTMoEConfig, build_bert_moe, tiny_bert_moe
 from .registry import (
-    BenchmarkScale,
     MODEL_NAMES,
     MODEL_TASKS,
     PAPER_ALIASES,
     PER_DEVICE_BATCH,
+    BenchmarkScale,
     build_model,
     build_tiny_model,
     canonical_name,
     table1_inventory,
 )
-from .vgg import VGGConfig, VGG19_LAYOUT, build_vgg19, tiny_vgg
+from .vgg import VGG19_LAYOUT, VGGConfig, build_vgg19, tiny_vgg
 from .vit import ViTConfig, build_vit, tiny_vit
 
 __all__ = [

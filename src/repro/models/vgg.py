@@ -11,7 +11,7 @@ pays off (Sec. 7.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple, Union
+from typing import List, Union
 
 from ..graph.builder import GraphBuilder
 from ..graph.graph import ComputationGraph

@@ -1,0 +1,46 @@
+"""Static plan verifier: independent analysis over programs, plans, schedules.
+
+The synthesizer and hierarchical planner *construct* well-formed artifacts;
+this package *proves* them well-formed after the fact, re-deriving every
+invariant from first principles so corruption introduced anywhere between
+synthesis and use — a stale cache entry, a bad rename in block-reuse replay,
+a parallel-merge bug — surfaces as a :class:`Diagnostic` instead of a wrong
+plan.  See the README's "Plan verification" section for the diagnostic-code
+table.
+
+Entry points:
+
+* :func:`verify_program` — P001–P008 over one ``DistributedProgram``;
+* :func:`verify_plan` — L001–L004 plus per-chunk program checks and S001–S003
+  schedule checks over one ``HierarchicalPlan``;
+* :func:`verify_schedule_orders` — S001–S003 over explicit task orders;
+* ``python -m repro.verify`` — plan + verify every registry model.
+"""
+
+from .base import (
+    Diagnostic,
+    PlanVerificationError,
+    Severity,
+    VerificationReport,
+    VerifierPass,
+    run_passes,
+)
+from .plan import PLAN_PASSES, verify_plan, verify_plan_structure
+from .program import PROGRAM_PASSES, verify_program
+from .schedule import SCHEDULE_PASSES, verify_schedule_orders
+
+__all__ = [
+    "Diagnostic",
+    "PlanVerificationError",
+    "Severity",
+    "VerificationReport",
+    "VerifierPass",
+    "run_passes",
+    "PROGRAM_PASSES",
+    "PLAN_PASSES",
+    "SCHEDULE_PASSES",
+    "verify_program",
+    "verify_plan",
+    "verify_plan_structure",
+    "verify_schedule_orders",
+]

@@ -1,0 +1,114 @@
+"""``python -m repro.verify``: plan and verify every registry model.
+
+For every registry model x testbed combination the CLI builds the tiny model
+variant, runs the hierarchical planner, and verifies the winning plan with
+the full pass pipeline (program, plan and schedule checks, including the
+P008 cost cross-check).  Exit status is non-zero when any error-severity
+diagnostic is reported — the CI job runs exactly this.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.verify                 # all models x testbeds
+    PYTHONPATH=src python -m repro.verify --models vit    # subset
+    PYTHONPATH=src python -m repro.verify -v              # list every diagnostic
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from ..cluster.spec import ClusterSpec, NetworkSpec, heterogeneous_testbed, homogeneous_testbed
+from ..core.config import PlannerConfig, SynthesisConfig
+from ..core.hierarchical import HierarchicalConfig
+from ..hap import hap_pipeline
+from ..models.registry import MODEL_NAMES, build_tiny_model
+from .base import VerificationReport
+from .plan import verify_plan
+
+
+def _testbeds(num_gpus: int, gpus_per_machine: int) -> List[ClusterSpec]:
+    return [
+        heterogeneous_testbed(num_gpus=num_gpus, gpus_per_machine=gpus_per_machine),
+        homogeneous_testbed(num_gpus=num_gpus, gpus_per_machine=gpus_per_machine),
+    ]
+
+
+def _config(beam: int) -> HierarchicalConfig:
+    return HierarchicalConfig(
+        planner=PlannerConfig(
+            max_rounds=1, synthesis=SynthesisConfig(beam_width=beam)
+        ),
+        intra_group_network=NetworkSpec(bandwidth=100e9 / 8),
+        max_stages=2,
+        # Planning is the CLI's scaffolding, not its subject: the explicit
+        # verify_plan() below is the check, so the planner's own hook is off.
+        verify_after_plan=False,
+    )
+
+
+def verify_registry(
+    models: Sequence[str],
+    num_gpus: int = 16,
+    gpus_per_machine: int = 8,
+    beam: int = 8,
+) -> List[Tuple[str, str, float, VerificationReport]]:
+    """Plan + verify each (model, testbed); returns per-case reports."""
+    results: List[Tuple[str, str, float, VerificationReport]] = []
+    for name in models:
+        forward = build_tiny_model(name)
+        for cluster in _testbeds(num_gpus, gpus_per_machine):
+            plan = hap_pipeline(forward, cluster, _config(beam))
+            t0 = time.perf_counter()
+            report = verify_plan(plan, forward)
+            seconds = time.perf_counter() - t0
+            results.append((name, cluster.name, seconds, report))
+    return results
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify", description=__doc__
+    )
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        default=MODEL_NAMES,
+        choices=MODEL_NAMES,
+        help="registry models to verify (default: all)",
+    )
+    parser.add_argument(
+        "--num-gpus", type=int, default=16, help="testbed GPU count"
+    )
+    parser.add_argument(
+        "--gpus-per-machine", type=int, default=8, help="GPUs per machine"
+    )
+    parser.add_argument(
+        "--beam", type=int, default=8, help="synthesis beam width for planning"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="list every diagnostic"
+    )
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for name, testbed, seconds, report in verify_registry(
+        args.models, args.num_gpus, args.gpus_per_machine, args.beam
+    ):
+        status = "ok" if report.ok else "FAIL"
+        print(
+            f"{name:>10s} x {testbed:<20s} {status:>4s}  "
+            f"({len(report.errors)} error(s), {len(report.warnings)} warning(s), "
+            f"{len(report.passes_run)} pass(es), verified in {seconds * 1e3:.0f} ms)"
+        )
+        if not report.ok or args.verbose:
+            for d in report.diagnostics if args.verbose else report.errors:
+                print(f"    {d.describe()}")
+        if not report.ok:
+            failures += 1
+    if failures:
+        print(f"\n{failures} plan(s) failed verification", file=sys.stderr)
+        return 1
+    return 0

@@ -7,8 +7,17 @@ beam widths so the whole suite stays fast.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+# Turn the static plan verifier on for every plan any test builds: the
+# ``verify_after_plan`` flags of SynthesisConfig/HierarchicalConfig default to
+# this environment variable, so the whole suite doubles as a positive-path
+# verification corpus.  Must be set before any config is *instantiated*
+# (the defaults are read per construction, not at import).
+os.environ.setdefault("REPRO_VERIFY", "1")
 
 from repro.autodiff import build_training_graph
 from repro.cluster import ClusterSpec, Machine, NetworkSpec, device_type

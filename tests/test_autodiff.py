@@ -6,9 +6,9 @@ import pytest
 from repro.autodiff import build_training_graph
 from repro.graph import DType, GraphBuilder, GraphError
 from repro.graph.ops import OpKind
-from repro.runtime import SingleDeviceExecutor, init_parameters, make_batch
+from repro.runtime import SingleDeviceExecutor, make_batch
 
-from .conftest import bindings_for, build_mlp, build_tiny_moe, build_tiny_transformer
+from .conftest import bindings_for, build_mlp, build_tiny_transformer
 
 
 def finite_difference(executor, bindings, loss_name, param, index, eps=1e-3):

@@ -8,10 +8,10 @@ from repro.cluster import heterogeneous_testbed
 from repro.core import PlannerConfig, SynthesisConfig
 from repro.experiments import (
     compare_systems,
-    fig2_sharding_ratio_tradeoff,
-    fig4_all_gather_variants,
     fig17_uneven_experts,
     fig19_synthesis_time,
+    fig2_sharding_ratio_tradeoff,
+    fig4_all_gather_variants,
     format_comparison,
     format_rows,
     table1_models,

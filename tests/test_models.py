@@ -6,12 +6,12 @@ import pytest
 from repro.data import Cifar10Like, WikiText2Like, batches_for_graph
 from repro.graph.graph import GraphError
 from repro.models import (
-    BERTConfig,
-    BERTMoEConfig,
     MODEL_NAMES,
     PER_DEVICE_BATCH,
-    ViTConfig,
+    BERTConfig,
+    BERTMoEConfig,
     VGGConfig,
+    ViTConfig,
     build_bert,
     build_bert_moe,
     build_model,

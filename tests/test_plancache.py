@@ -11,7 +11,7 @@ import pickle
 import pytest
 
 from repro.autodiff import build_training_graph
-from repro.cluster import ClusterSpec, Machine, NetworkSpec
+from repro.cluster import ClusterSpec, NetworkSpec
 from repro.cluster.device import DeviceType
 from repro.core import (
     CachedPlan,
@@ -28,7 +28,7 @@ from repro.core import (
 )
 from repro.graph import ComputationGraph, fingerprint_with_order, graph_fingerprint
 
-from .conftest import build_mlp, fast_network, make_cluster
+from .conftest import build_mlp, make_cluster
 
 
 def small_planner_config(**synthesis):

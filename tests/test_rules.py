@@ -2,9 +2,9 @@
 
 import pytest
 
+from repro.collectives import CollectiveKind
 from repro.core import (
     DistState,
-    Property,
     StateKind,
     SynthesisConfig,
     build_theory,
@@ -14,9 +14,8 @@ from repro.core import (
     replicated,
     sharded,
 )
-from repro.collectives import CollectiveKind
 from repro.core.rules import _reshape_dim_map, source_variants
-from repro.graph import GraphBuilder, DType
+from repro.graph import DType, GraphBuilder
 
 
 class TestProperties:

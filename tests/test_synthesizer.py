@@ -3,14 +3,13 @@
 import pytest
 
 from repro.autodiff import build_training_graph
+from repro.collectives import CollectiveKind
 from repro.core import (
     CostModel,
     ProgramSynthesizer,
     SynthesisConfig,
-    SynthesisError,
     synthesize_program,
 )
-from repro.collectives import CollectiveKind
 from repro.graph import DType, GraphBuilder
 from repro.graph.ops import OpKind
 

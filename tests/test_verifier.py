@@ -1,0 +1,338 @@
+"""Static plan verifier (src/repro/verify/).
+
+Positive direction: every registry model's hierarchically planned program,
+plan and schedule must verify clean (and the ``verify_after_plan`` hooks —
+on suite-wide via ``REPRO_VERIFY`` — mean every *other* test's plans are
+verified too).  Negative direction: every seeded corruption from the
+mutation harness must be caught with its expected diagnostic code, and a
+cache entry hand-corrupted on disk must be rejected by the verify-on-hit
+path as a diagnosed miss instead of being replayed.
+"""
+
+import dataclasses
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import ClusterSpec, Machine, NetworkSpec, device_type
+from repro.core import (
+    DiskPlanCache,
+    HAPPlanner,
+    HierarchicalConfig,
+    HierarchicalPlanner,
+    PlannerConfig,
+    SynthesisConfig,
+)
+from repro.core.config import verify_default
+from repro.core.instructions import CommInstruction
+from repro.models.registry import MODEL_NAMES, build_tiny_model
+from repro.simulator.schedule import get_schedule
+from repro.verify import (
+    PlanVerificationError,
+    Severity,
+    verify_plan,
+    verify_program,
+    verify_schedule_orders,
+)
+from repro.verify.mutate import (
+    PLAN_MUTATIONS,
+    PROGRAM_MUTATIONS,
+    SCHEDULE_MUTATIONS,
+    duplicate_instruction,
+)
+from repro.verify.plan import verify_plan_structure
+
+from .conftest import build_mlp, make_cluster
+
+
+def small_planner():
+    return PlannerConfig(max_rounds=1, synthesis=SynthesisConfig(beam_width=8))
+
+
+def two_group_cluster() -> ClusterSpec:
+    """Two machine groups with the paper's slow inter-group network."""
+    machines = [
+        Machine("v1", device_type("V100"), num_gpus=4),
+        Machine("p1", device_type("P100"), num_gpus=4),
+    ]
+    return ClusterSpec(machines, network=NetworkSpec(), group_by_machine=True)
+
+
+def hier_config(**kwargs) -> HierarchicalConfig:
+    kwargs.setdefault("planner", small_planner())
+    kwargs.setdefault("intra_group_network", NetworkSpec(bandwidth=100e9 / 8))
+    kwargs.setdefault("max_stages", 2)
+    return HierarchicalConfig(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def bert_forward():
+    return build_tiny_model("bert_base")
+
+
+@pytest.fixture(scope="module")
+def bert_plan(bert_forward):
+    """A two-stage pipeline plan over the tiny BERT (module-scoped: ~1s)."""
+    plan = HierarchicalPlanner(bert_forward, two_group_cluster(), hier_config()).plan()
+    assert plan.num_stages == 2  # the mutations below exercise real boundaries
+    return plan
+
+
+@pytest.fixture(scope="module")
+def flat_plan():
+    """A flat SPMD plan with collectives to mutate (MLP on 4 devices)."""
+    from repro.autodiff import build_training_graph
+
+    graph = build_training_graph(build_mlp()).graph
+    return HAPPlanner(graph, make_cluster(), small_planner()).plan()
+
+
+# ---------------------------------------------------------------------------
+# positive runs: every registry model verifies clean
+# ---------------------------------------------------------------------------
+
+class TestPositive:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_registry_model_plan_verifies(self, name):
+        forward = build_tiny_model(name)
+        plan = HierarchicalPlanner(forward, two_group_cluster(), hier_config()).plan()
+        report = verify_plan(plan, forward)
+        assert report.ok, report.describe()
+        # All three pass families actually ran.
+        ran = set(report.passes_run)
+        assert {"plan-partition", "program-dataflow", "schedule-acyclicity"} <= ran
+
+    def test_flat_program_verifies(self, flat_plan):
+        cluster = make_cluster()
+        report = verify_program(flat_plan.program, cluster, flat_plan.flat_ratios)
+        assert report.ok, report.describe()
+
+    def test_canonical_schedules_verify(self):
+        for name, s, m, v in (
+            ("gpipe", 4, 8, 1),
+            ("1f1b", 4, 8, 1),
+            ("interleaved-1f1b", 2, 4, 2),
+        ):
+            orders = get_schedule(name, num_model_chunks=v).task_orders(s, m, v)
+            report = verify_schedule_orders(
+                orders, num_stages=s, num_microbatches=m, num_chunks=v, schedule_name=name
+            )
+            assert report.ok, (name, report.describe())
+
+
+# ---------------------------------------------------------------------------
+# negative runs: every seeded mutation is caught with its expected code
+# ---------------------------------------------------------------------------
+
+class TestProgramMutations:
+    @pytest.mark.parametrize("mutation", sorted(PROGRAM_MUTATIONS))
+    def test_mutation_caught(self, flat_plan, mutation):
+        mutated, expected = PROGRAM_MUTATIONS[mutation](flat_plan.program)
+        report = verify_program(mutated, make_cluster(), flat_plan.flat_ratios)
+        assert not report.ok, f"{mutation} went undiagnosed"
+        assert expected in report.codes(), (
+            f"{mutation}: expected {expected}, got {report.codes()}\n{report.describe()}"
+        )
+
+    def test_dropped_collective_also_breaks_cost_agreement(self, flat_plan):
+        # P008 cross-checks cost on the *well-formed* positive path; on a
+        # mutated program the structural passes own the diagnosis, and the
+        # report must not be drowned in spurious crashes.
+        mutated, expected = PROGRAM_MUTATIONS["drop_collective"](flat_plan.program)
+        report = verify_program(mutated, make_cluster(), flat_plan.flat_ratios)
+        assert expected in report.codes()
+        assert not report.ok
+
+
+class TestScheduleMutations:
+    @pytest.mark.parametrize("mutation", sorted(SCHEDULE_MUTATIONS))
+    @pytest.mark.parametrize("schedule,s,m,v", [("1f1b", 4, 8, 1), ("gpipe", 3, 6, 1)])
+    def test_mutation_caught(self, mutation, schedule, s, m, v):
+        orders = get_schedule(schedule, num_model_chunks=v).task_orders(s, m, v)
+        mutated, expected = SCHEDULE_MUTATIONS[mutation](orders)
+        report = verify_schedule_orders(
+            mutated, num_stages=s, num_microbatches=m, num_chunks=v, schedule_name=schedule
+        )
+        assert not report.ok, f"{mutation} went undiagnosed"
+        assert expected in report.codes(), (
+            f"{mutation}: expected {expected}, got {report.codes()}\n{report.describe()}"
+        )
+
+    def test_interleaved_wrap_hop_pairing(self):
+        # Dropping a task from an interleaved order strands the matching
+        # send/recv of a *wrap* hop (last stage -> stage 0) too.
+        orders = get_schedule("interleaved-1f1b", num_model_chunks=2).task_orders(2, 4, 2)
+        mutated = [list(o) for o in orders]
+        mutated[-1].remove(("F", 1, 0))  # chunk-1 forward arrives via the wrap hop
+        report = verify_schedule_orders(
+            mutated, num_stages=2, num_microbatches=4, num_chunks=2,
+            schedule_name="interleaved-1f1b",
+        )
+        assert "S002" in report.codes(), report.describe()
+
+
+class TestPlanMutations:
+    @pytest.mark.parametrize("mutation", sorted(PLAN_MUTATIONS))
+    def test_mutation_caught(self, bert_plan, bert_forward, mutation):
+        mutated, expected = PLAN_MUTATIONS[mutation](bert_plan)
+        report = verify_plan(mutated, bert_forward)
+        assert not report.ok, f"{mutation} went undiagnosed"
+        assert expected in report.codes(), (
+            f"{mutation}: expected {expected}, got {report.codes()}\n{report.describe()}"
+        )
+
+    def test_corrupt_chunk_program_caught_at_plan_level(self, bert_plan, bert_forward):
+        mutated = dataclasses.replace(bert_plan)
+        mutated.stages = [dataclasses.replace(s) for s in bert_plan.stages]
+        mutated.stages[0].chunks = [dataclasses.replace(c) for c in bert_plan.stages[0].chunks]
+        # A chunk on a one-machine group has no collectives, so corrupt the
+        # dataflow instead: emulate one node twice.
+        chunk = mutated.stages[0].chunks[0]
+        bad_program, expected = duplicate_instruction(chunk.program)
+        chunk.plan = dataclasses.replace(chunk.plan, program=bad_program)
+        report = verify_plan(mutated, bert_forward)
+        assert expected in report.codes(), report.describe()
+        # The diagnostic is anchored to the owning virtual stage.
+        assert any(
+            d.code == expected and "virtual stage 0" in d.location
+            for d in report.errors
+        ), report.describe()
+
+    def test_memory_mutation_is_error_only_when_plan_claims_fit(self, bert_plan, bert_forward):
+        mutated, _ = PLAN_MUTATIONS["inflate_stage_memory"](bert_plan)
+        # The plan still claims fits_memory=True, so the violation is an error...
+        assert any(
+            d.severity is Severity.ERROR and d.code == "L004"
+            for d in verify_plan_structure(mutated, bert_forward).diagnostics
+        )
+        # ...but a plan that honestly reports infeasibility is not lying.
+        mutated.fits_memory = False
+        honest = verify_plan_structure(mutated, bert_forward)
+        assert not [d for d in honest.errors if d.code == "L004"], honest.describe()
+
+
+# ---------------------------------------------------------------------------
+# verify_after_plan wiring
+# ---------------------------------------------------------------------------
+
+class TestVerifyAfterPlan:
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "0")
+        assert not verify_default()
+        assert not HierarchicalConfig().verify_after_plan
+        assert not SynthesisConfig().verify_after_plan
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        assert HierarchicalConfig().verify_after_plan
+        assert SynthesisConfig().verify_after_plan
+
+    def test_suite_runs_with_verifier_on(self):
+        # tests/conftest.py turns the flag on suite-wide: every plan built by
+        # any test goes through the verifier (this is the positive corpus).
+        assert HierarchicalConfig().verify_after_plan
+
+    def test_error_carries_report(self):
+        from repro.verify.base import Diagnostic, VerificationReport
+
+        report = VerificationReport()
+        report.add(Diagnostic("L003", Severity.ERROR, "boom", "stage 0"))
+        err = PlanVerificationError(report)
+        assert err.report is report
+        assert "L003" in str(err)
+
+
+# ---------------------------------------------------------------------------
+# cache corruption: verify-on-hit turns bad entries into diagnosed misses
+# ---------------------------------------------------------------------------
+
+class TestCacheCorruption:
+    def _corrupt_on_disk(self, directory: str) -> int:
+        """Hand-corrupt every entry file in a DiskPlanCache directory."""
+        corrupted = 0
+        for path in Path(directory).glob("*.plan"):
+            entry = pickle.loads(path.read_bytes())
+            if entry.extra.get("forward_names") is not None:
+                # Whole-plan entry: break a chunk's boundary accounting.
+                entry.plan.stages[0].chunks[0].send_bytes += 999
+            else:
+                # Chunk entry: corrupt its dataflow (a duplicated emulation).
+                bad, _ = duplicate_instruction(entry.plan.program)
+                entry.plan = dataclasses.replace(entry.plan, program=bad)
+            path.write_bytes(pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL))
+            corrupted += 1
+        return corrupted
+
+    def test_corrupt_entries_become_diagnosed_misses(self, bert_forward, tmp_path):
+        directory = str(tmp_path / "plans")
+        cold = HierarchicalPlanner(
+            bert_forward,
+            two_group_cluster(),
+            hier_config(plan_cache=DiskPlanCache(directory)),
+        ).plan()
+        assert self._corrupt_on_disk(directory) > 0
+
+        # Fresh cache instance: reads actually hit the corrupted files.
+        warm = HierarchicalPlanner(
+            bert_forward,
+            two_group_cluster(),
+            hier_config(plan_cache=DiskPlanCache(directory)),
+        ).plan()
+        assert warm.reuse_stats["whole_plan_hit"] == 0
+        assert warm.reuse_stats["cache_rejects"] > 0
+        assert warm.reuse_stats["subplans_planned"] > 0  # fell through to synthesis
+        # The replanned result is clean and matches the cold plan.
+        assert verify_plan(warm, bert_forward).ok
+        assert warm.estimated_time == cold.estimated_time
+        assert warm.schedule_name == cold.schedule_name
+
+    def test_intact_cache_still_hits(self, bert_forward, tmp_path):
+        directory = str(tmp_path / "plans")
+        config = hier_config(plan_cache=DiskPlanCache(directory))
+        HierarchicalPlanner(bert_forward, two_group_cluster(), config).plan()
+        warm = HierarchicalPlanner(
+            bert_forward,
+            two_group_cluster(),
+            hier_config(plan_cache=DiskPlanCache(directory)),
+        ).plan()
+        assert warm.reuse_stats["whole_plan_hit"] == 1
+        assert warm.reuse_stats["cache_rejects"] == 0
+
+
+# ---------------------------------------------------------------------------
+# later-stage boundary audit (dependent_mask / instruction_phases)
+# ---------------------------------------------------------------------------
+
+class TestStageBoundaryAudit:
+    """No chunk instruction references a tensor produced in a later stage.
+
+    The dataflow pass (P001/P003) proves def-before-use *within* each chunk
+    program; these tests additionally pin that every reference a chunk
+    instruction touches exists in the chunk's own graph — i.e. activations
+    from other stages enter only through placeholder seeds, never as dangling
+    names — so ``Stage.dependent_mask()`` and ``instruction_phases()`` can
+    never taint or classify against a tensor of a later stage.
+    """
+
+    def test_chunk_instructions_reference_only_chunk_tensors(self, bert_plan):
+        for chunk in bert_plan.chunk_sequence():
+            names = set(chunk.info.graph.node_names)
+            for instr in chunk.program.instructions:
+                if isinstance(instr, CommInstruction):
+                    refs = {instr.input.ref, instr.output.ref}
+                else:
+                    refs = {p.ref for p in instr.inputs} | {instr.output.ref, instr.node}
+                assert refs <= names, (
+                    f"virtual stage {chunk.virtual_index}: {sorted(refs - names)} "
+                    "not in the chunk graph"
+                )
+
+    def test_dependent_mask_and_phases_consistent_per_chunk(self, bert_plan):
+        for chunk in bert_plan.chunk_sequence():
+            program = chunk.program
+            phases = program.instruction_phases(chunk.info.forward_nodes)
+            assert len(phases) == len(program.instructions)
+            for stage in program.stages():
+                mask = stage.dependent_mask()
+                assert len(mask) == len(stage.comps)
+                if stage.comm is None:
+                    assert not any(mask)
