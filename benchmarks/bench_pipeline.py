@@ -31,8 +31,10 @@ Usage::
     PYTHONPATH=src python -m benchmarks.bench_pipeline --max-planning-seconds 120
 
 Every testbed's chosen plan is additionally run through the static plan
-verifier (:func:`repro.verify.verify_plan`) and the wall-clock recorded as
-``verify_seconds`` next to ``planning_seconds`` — the verifier is priced
+verifier (:func:`repro.verify.verify_plan`) and the performance linter
+(:func:`repro.verify.lint_plan`), with the wall-clocks recorded as
+``verify_seconds`` and ``lint_seconds`` next to ``planning_seconds`` (plus
+``lint_warnings`` / ``lint_warning_codes`` counts) — both are priced
 separately and deliberately outside the ``--max-planning-seconds`` budget; an
 unverifiable plan aborts the benchmark.
 
@@ -71,7 +73,7 @@ from repro.core import DiskPlanCache, HierarchicalConfig, InMemoryPlanCache
 from repro.hap import hap_pipeline
 from repro.models import BenchmarkScale, build_model
 from repro.simulator import simulate_hierarchical, simulate_pipeline
-from repro.verify import verify_plan
+from repro.verify import lint_plan, verify_plan
 
 from .conftest import bench_planner
 
@@ -309,8 +311,12 @@ def run_benchmark(fast: bool, beam: int, rounds: int, workers: int) -> Dict[str,
         # Price the static plan verifier separately from planning so the
         # --max-planning-seconds guard stays a pure planner budget.
         start = time.perf_counter()
-        verification = verify_plan(plan, forward)
+        verification = verify_plan(plan, forward, lint=False)
         verify_seconds = time.perf_counter() - start
+        # The W-code performance lints are priced on their own line too.
+        start = time.perf_counter()
+        lint_report = lint_plan(plan)
+        lint_seconds = time.perf_counter() - start
         overlap_record = None
         if testbed["name"] == "hetero-bandwidth" and plan.num_stages > 1:
             overlap_record = _overlap_record(plan)
@@ -323,6 +329,9 @@ def run_benchmark(fast: bool, beam: int, rounds: int, workers: int) -> Dict[str,
                 "planning_seconds": planning_seconds,
                 "verify_seconds": verify_seconds,
                 "verified_ok": verification.ok,
+                "lint_seconds": lint_seconds,
+                "lint_warnings": len(lint_report.warnings),
+                "lint_warning_codes": sorted(d.code for d in lint_report.warnings),
                 "num_stages": plan.num_stages,
                 "schedule": plan.schedule_name,
                 "num_microbatches": plan.num_microbatches,
@@ -341,7 +350,9 @@ def run_benchmark(fast: bool, beam: int, rounds: int, workers: int) -> Dict[str,
             f"{plan.num_stages} stage(s), {plan.schedule_name} x{plan.num_microbatches} mb, "
             f"est {plan.estimated_time * 1e3:.1f} ms "
             f"({len(plan.schedule_candidate_times)} candidates), "
-            f"verified in {verify_seconds * 1e3:.0f} ms"
+            f"verified in {verify_seconds * 1e3:.0f} ms, "
+            f"linted in {lint_seconds * 1e3:.1f} ms "
+            f"({len(lint_report.warnings)} warning(s))"
         )
         if not verification.ok:
             print(verification.describe(), file=sys.stderr)

@@ -136,6 +136,10 @@ def build_training_graph(
         graph.mark_output(upd)
 
     graph.mark_loss(loss)
+    # The eager VJP sweep materialises gradients for every input, including
+    # data placeholders nobody updates; drop those dead sinks so the planner
+    # never pays (or shards) compute whose result is unobservable.
+    graph.prune_dead()
     graph.validate()
     return TrainingGraphInfo(
         graph=graph, loss=loss, gradients=gradients, updates=updates, skipped_parameters=skipped
@@ -279,6 +283,10 @@ def build_stage_training_graph(
 
     if stage_forward.loss is not None:
         graph.mark_loss(stage_forward.loss)
+    # Same dead-sink pruning as build_training_graph: boundary activations
+    # and exported upstream gradients are outputs, so only unobservable
+    # gradient compute (e.g. towards data placeholders) is removed.
+    graph.prune_dead()
     graph.validate()
     return StageTrainingInfo(
         graph=graph,
@@ -286,7 +294,7 @@ def build_stage_training_graph(
         gradients=gradients,
         updates=updates,
         skipped_parameters=skipped,
-        forward_nodes=forward_nodes,
+        forward_nodes=[n for n in forward_nodes if n in graph],
         boundary_outputs=list(boundary_outputs),
         grad_input_of=grad_input_of,
         grad_output_of=grad_output_of,

@@ -49,14 +49,14 @@ class CommOverlapModel:
             )
 
     @classmethod
-    def from_cluster(cls, cluster) -> "CommOverlapModel":
+    def from_cluster(cls, cluster) -> CommOverlapModel:
         """The overlap model a cluster's software stack achieves."""
         return cls(efficiency=getattr(
             cluster, "comm_overlap_efficiency", DEFAULT_COMM_OVERLAP_EFFICIENCY
         ))
 
     @classmethod
-    def disabled(cls) -> "CommOverlapModel":
+    def disabled(cls) -> CommOverlapModel:
         """Fully serialized streams (the pre-overlap blocking model)."""
         return cls(efficiency=0.0)
 
@@ -196,7 +196,7 @@ class ClusterSpec:
         """True if the cluster mixes more than one GPU model."""
         return len({m.gpu.name for m in self.machines}) > 1
 
-    def subset(self, num_machines: int, name: Optional[str] = None) -> "ClusterSpec":
+    def subset(self, num_machines: int, name: Optional[str] = None) -> ClusterSpec:
         """A cluster consisting of the first ``num_machines`` machines."""
         if not 1 <= num_machines <= len(self.machines):
             raise ValueError(f"num_machines must be in [1, {len(self.machines)}]")
@@ -214,7 +214,7 @@ class ClusterSpec:
         self,
         num_groups: int,
         intra_group_network: Optional[NetworkSpec] = None,
-    ) -> "ClusterPartition":
+    ) -> ClusterPartition:
         """Split the machines into ``num_groups`` contiguous stage groups.
 
         The groups are contiguous slices of the machine list, balanced by

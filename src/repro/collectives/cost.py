@@ -75,7 +75,7 @@ class CollectiveCostModel:
     paper's treatment of machine-level virtual devices.
     """
 
-    def __init__(self, cluster: "ClusterSpec") -> None:
+    def __init__(self, cluster: ClusterSpec) -> None:
         self.cluster = cluster
         self.num_devices = cluster.num_devices
         self.bandwidth = cluster.network.bandwidth

@@ -311,7 +311,7 @@ class CostModel:
     def _comp_times(self, instr: CompInstruction, ratios: Sequence[float]) -> List[float]:
         flops = self.node_flops(instr.node)
         times: List[float] = []
-        for j, device in enumerate(self.devices):
+        for j in range(len(self.devices)):
             share = ratios[j] if instr.flops_sharded else 1.0
             t = flops * share / self._device_flops[j]
             t += self._intra_sync_time(instr, j, share)

@@ -596,6 +596,15 @@ class HierarchicalPlanner:
         self.forward = forward
         self.cluster = cluster
         self.config = config or HierarchicalConfig()
+        if self.config.verify_after_plan:
+            # Pre-planning IR check of the forward graph; the per-chunk
+            # training graphs are checked again by each HAPPlanner.
+            from ..verify.base import PlanVerificationError
+            from ..verify.graph import verify_graph
+
+            graph_report = verify_graph(forward)
+            if not graph_report.ok:
+                raise PlanVerificationError(graph_report)
         self.batch_size = self._batch_size()
         self.overlap = (
             CommOverlapModel.from_cluster(cluster).efficiency
@@ -671,7 +680,7 @@ class HierarchicalPlanner:
                 return []
             for m in base:
                 m = max(1, int(m))
-                out.add(min(valid, key=lambda d: (abs(d - m), -d)))
+                out.add(min(valid, key=lambda d, m=m: (abs(d - m), -d)))
             return sorted(out)
         for m in base:
             m = max(1, int(m))

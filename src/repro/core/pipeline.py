@@ -97,6 +97,15 @@ class HAPPlanner:
         self.graph = graph
         self.cluster = cluster
         self.config = config or PlannerConfig()
+        if self.config.synthesis.verify_after_plan:
+            # Pre-synthesis IR check: a malformed graph fails here with a
+            # G-code diagnostic instead of a traceback mid-search.
+            from ..verify.base import PlanVerificationError
+            from ..verify.graph import verify_graph
+
+            graph_report = verify_graph(graph)
+            if not graph_report.ok:
+                raise PlanVerificationError(graph_report)
         self.cost_model = CostModel(graph, cluster)
         self.theory = build_theory(graph, cluster.num_devices, self.config.synthesis)
         self.synthesizer = ProgramSynthesizer(

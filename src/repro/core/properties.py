@@ -49,15 +49,15 @@ class DistState:
 
     # -- convenience constructors ------------------------------------------
     @staticmethod
-    def replicated() -> "DistState":
+    def replicated() -> DistState:
         return _REPLICATED
 
     @staticmethod
-    def partial() -> "DistState":
+    def partial() -> DistState:
         return _PARTIAL
 
     @staticmethod
-    def sharded(dim: int) -> "DistState":
+    def sharded(dim: int) -> DistState:
         return DistState(StateKind.SHARDED, dim)
 
     # -- predicates ----------------------------------------------------------

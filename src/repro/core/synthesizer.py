@@ -93,7 +93,7 @@ class _SearchNode:
 
     def __init__(
         self,
-        parent: Optional["_SearchNode"],
+        parent: Optional[_SearchNode],
         rule: Optional[Rule],
         properties: FrozenSet[Property],
         completed: int,
@@ -305,10 +305,10 @@ class ProgramSynthesizer:
         #: repeated-block occurrences (built lazily on first beam search).
         self._reuse_segments: Optional[List[Tuple]] = None
         #: (id(run), occurrence index) -> per-occurrence static info.
-        self._occ_info: Dict[Tuple[int, int], "_OccurrenceInfo"] = {}
+        self._occ_info: Dict[Tuple[int, int], _OccurrenceInfo] = {}
         #: id(run) -> recorded template decisions (reset per synthesize call;
         #: decisions depend on the sharding ratios).
-        self._reuse_records: Dict[int, "_BlockRecord"] = {}
+        self._reuse_records: Dict[int, _BlockRecord] = {}
         #: per-synthesize block-reuse accounting (inspectable after a run).
         self.reuse_stats: Dict[str, int] = {}
 

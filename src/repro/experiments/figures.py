@@ -387,7 +387,11 @@ def fig16_concurrent_training(
     for model in models:
         per_device_batch = {"bert_moe": 32}.get(model, 64)
 
-        def job_throughput(cluster: ClusterSpec) -> float:
+        def job_throughput(
+            cluster: ClusterSpec,
+            model: str = model,
+            per_device_batch: int = per_device_batch,
+        ) -> float:
             gpus = cluster.num_gpus
             forward = build_model(model, num_gpus=gpus, scale=scale)
             graph = build_training_graph(forward).graph

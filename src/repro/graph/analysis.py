@@ -62,7 +62,7 @@ class GraphStats:
     activation_bytes: int
 
     @staticmethod
-    def of(graph: ComputationGraph) -> "GraphStats":
+    def of(graph: ComputationGraph) -> GraphStats:
         return GraphStats(
             num_nodes=len(graph),
             num_parameters=len(graph.parameters()),
@@ -337,8 +337,12 @@ def pipeline_cut(
             p for p in range(lo, hi + 1) if abs(prefix[p] - targets[k]) <= window
         ]
         if not candidates:
-            candidates = [min(range(lo, hi + 1), key=lambda p: abs(prefix[p] - targets[k]))]
-        best = min(candidates, key=lambda p: (crossing[p], abs(prefix[p] - targets[k])))
+            candidates = [
+                min(range(lo, hi + 1), key=lambda p, t=targets[k]: abs(prefix[p] - t))
+            ]
+        best = min(
+            candidates, key=lambda p, t=targets[k]: (crossing[p], abs(prefix[p] - t))
+        )
         boundaries.append(best)
         previous = best
 

@@ -63,7 +63,7 @@ def _node_content(graph: ComputationGraph, name: str) -> Tuple:
 
 
 def _digest(payload: object) -> str:
-    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
 
 
 def structural_hashes(graph: ComputationGraph) -> Dict[str, str]:

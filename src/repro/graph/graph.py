@@ -207,6 +207,35 @@ class ComputationGraph:
         """Total size of all non-source node outputs in bytes (peak proxy)."""
         return sum(n.spec.size_bytes for n in self if n.kind is not OpKind.SOURCE)
 
+    def prune_dead(self, extra_roots: Iterable[str] = ()) -> List[str]:
+        """Remove non-source nodes whose results nothing can observe.
+
+        A node is dead when it is not an output, not the loss, not one of
+        ``extra_roots``, and no (transitively live) node consumes it.  Source
+        nodes are kept: an unused placeholder or parameter is a binding, not
+        compute, and other layers account for them (e.g. ``skipped_parameters``
+        in autodiff).  Returns the removed names, in removal order.
+        """
+        roots = set(self._outputs) | set(extra_roots)
+        if self._loss is not None:
+            roots.add(self._loss)
+        removed: List[str] = []
+        while True:
+            consumers = self.consumers()
+            dead = [
+                node.name
+                for node in self
+                if node.name not in roots
+                and not consumers[node.name]
+                and node.kind is not OpKind.SOURCE
+            ]
+            if not dead:
+                return removed
+            for name in dead:
+                del self._nodes[name]
+                self._order.remove(name)
+                removed.append(name)
+
     def validate(self) -> None:
         """Check structural invariants; raises :class:`GraphError` on failure."""
         seen = set()

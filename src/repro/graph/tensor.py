@@ -100,7 +100,7 @@ class TensorSpec:
         """Size of dimension ``axis`` (supports negative indexing)."""
         return self.shape[axis]
 
-    def with_dim(self, axis: int, new_size: int) -> "TensorSpec":
+    def with_dim(self, axis: int, new_size: int) -> TensorSpec:
         """Return a copy with dimension ``axis`` replaced by ``new_size``."""
         if new_size <= 0:
             raise ValueError(f"dimension size must be positive, got {new_size}")
@@ -109,7 +109,7 @@ class TensorSpec:
         shape[axis] = new_size
         return TensorSpec(tuple(shape), self.dtype)
 
-    def with_shape(self, shape: Sequence[int]) -> "TensorSpec":
+    def with_shape(self, shape: Sequence[int]) -> TensorSpec:
         """Return a copy with a different shape (same dtype)."""
         return TensorSpec(tuple(shape), self.dtype)
 
@@ -120,7 +120,7 @@ class TensorSpec:
         """
         return tuple(i for i, d in enumerate(self.shape) if d > 1)
 
-    def shard(self, axis: int, num_shards: int, index: int) -> "TensorSpec":
+    def shard(self, axis: int, num_shards: int, index: int) -> TensorSpec:
         """Spec of the ``index``-th of ``num_shards`` even shards along ``axis``.
 
         Uses the standard "larger shards first" remainder distribution so that

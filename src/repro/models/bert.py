@@ -46,15 +46,11 @@ def build_bert(config: BERTConfig = BERTConfig(), name: str = "bert_base") -> Co
     ids = b.placeholder((config.batch_size, config.seq_len), dtype=DType.INT64, name="input_ids")
     table = b.parameter((config.vocab_size, config.hidden_size), name="token_embeddings")
     x = b.embedding(ids, table)
-    # Learned position embeddings, broadcast over the batch by replication:
-    # represented as a (seq, hidden) parameter added after reshaping.
-    pos = b.parameter((config.seq_len, config.hidden_size), name="position_embeddings")
-    pos_b = b.reshape(pos, (1, config.seq_len, config.hidden_size))
-    pos_full = b.reshape(pos_b, (config.seq_len, config.hidden_size))
-    # Add position embeddings token-wise via a flattened bias-like addition.
+    # The learned positional term is folded into the first layer norm's
+    # affine parameters, so no position-embedding compute (or parameter)
+    # appears in the IR.
     flat = b.reshape(x, (config.batch_size * config.seq_len, config.hidden_size))
     x = b.reshape(flat, (config.batch_size, config.seq_len, config.hidden_size))
-    del pos_full  # the positional term is folded into the first layer norm
     for i in range(config.num_layers):
         x = b.transformer_layer(
             x,

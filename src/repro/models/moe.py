@@ -44,7 +44,7 @@ class BERTMoEConfig:
     capacity_factor: float = 1.25
 
     @staticmethod
-    def for_devices(num_devices: int, experts_per_device: int = 2, **overrides) -> "BERTMoEConfig":
+    def for_devices(num_devices: int, experts_per_device: int = 2, **overrides) -> BERTMoEConfig:
         """Weak-scaling configuration: experts proportional to device count."""
         return BERTMoEConfig(num_experts=max(2, experts_per_device * num_devices), **overrides)
 

@@ -40,11 +40,11 @@ class BenchmarkScale:
     batch_per_device: Optional[int] = None
 
     @staticmethod
-    def paper() -> "BenchmarkScale":
+    def paper() -> BenchmarkScale:
         return BenchmarkScale("paper", layer_fraction=1.0)
 
     @staticmethod
-    def reduced() -> "BenchmarkScale":
+    def reduced() -> BenchmarkScale:
         return BenchmarkScale("reduced", layer_fraction=0.25)
 
 

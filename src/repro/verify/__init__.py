@@ -1,20 +1,28 @@
-"""Static plan verifier: independent analysis over programs, plans, schedules.
+"""Static analysis suite: graph checks, plan verification, performance lints.
 
 The synthesizer and hierarchical planner *construct* well-formed artifacts;
 this package *proves* them well-formed after the fact, re-deriving every
 invariant from first principles so corruption introduced anywhere between
 synthesis and use — a stale cache entry, a bad rename in block-reuse replay,
 a parallel-merge bug — surfaces as a :class:`Diagnostic` instead of a wrong
-plan.  See the README's "Plan verification" section for the diagnostic-code
-table.
+plan.  On top of the error-severity proofs, the graph checker validates the
+IR *before* planning and the plan linter flags legal-but-slow plans with
+warning-severity findings.  See the README's "Plan verification and static
+analysis" section for the diagnostic-code tables.
 
 Entry points:
 
+* :func:`verify_graph` — G001–G006 over one ``ComputationGraph`` (forward,
+  training, or planner-cut stage graph);
 * :func:`verify_program` — P001–P008 over one ``DistributedProgram``;
-* :func:`verify_plan` — L001–L004 plus per-chunk program checks and S001–S003
-  schedule checks over one ``HierarchicalPlan``;
+* :func:`verify_plan` — L001–L004 plus per-chunk program checks, S001–S003
+  schedule checks, and (by default) the W001–W006 lints over one
+  ``HierarchicalPlan``;
+* :func:`lint_plan` — only the W001–W006 performance lints;
 * :func:`verify_schedule_orders` — S001–S003 over explicit task orders;
-* ``python -m repro.verify`` — plan + verify every registry model.
+* ``python -m repro.verify`` — plan + verify every registry model
+  (``--lint`` adds the performance lints, ``--strict-warnings`` makes
+  warnings fail the run, ``--json`` emits a machine-readable report).
 """
 
 from .base import (
@@ -25,6 +33,8 @@ from .base import (
     VerifierPass,
     run_passes,
 )
+from .graph import GRAPH_PASSES, verify_graph
+from .lint import LINT_PASSES, lint_plan
 from .plan import PLAN_PASSES, verify_plan, verify_plan_structure
 from .program import PROGRAM_PASSES, verify_program
 from .schedule import SCHEDULE_PASSES, verify_schedule_orders
@@ -36,9 +46,13 @@ __all__ = [
     "VerificationReport",
     "VerifierPass",
     "run_passes",
+    "GRAPH_PASSES",
+    "LINT_PASSES",
     "PROGRAM_PASSES",
     "PLAN_PASSES",
     "SCHEDULE_PASSES",
+    "verify_graph",
+    "lint_plan",
     "verify_program",
     "verify_plan",
     "verify_plan_structure",

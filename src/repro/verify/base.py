@@ -11,8 +11,9 @@ cache remapping or the parallel grid merge therefore surfaces as a
 
 Three building blocks:
 
-* :class:`Diagnostic` — one finding, with a stable code (``P0xx`` program
-  checks, ``L0xx`` plan checks, ``S0xx`` schedule checks), a
+* :class:`Diagnostic` — one finding, with a stable code (``G0xx`` graph-IR
+  checks, ``P0xx`` program checks, ``L0xx`` plan checks, ``S0xx`` schedule
+  checks, ``W0xx`` warning-severity performance lints), a
   :class:`Severity` and a human-readable location.
 * :class:`VerificationReport` — an ordered collection of diagnostics plus the
   names of the passes that ran; ``ok`` means *no error-severity findings*.
@@ -89,7 +90,7 @@ class VerificationReport:
     def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
         self.diagnostics.extend(diagnostics)
 
-    def merge(self, other: "VerificationReport", prefix: str = "") -> None:
+    def merge(self, other: VerificationReport, prefix: str = "") -> None:
         """Fold another report into this one, optionally re-anchoring locations.
 
         ``prefix`` is prepended to every merged diagnostic's location so a

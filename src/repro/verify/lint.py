@@ -1,0 +1,247 @@
+"""Plan performance linter: legal-but-slow patterns in a finished plan.
+
+The error-severity passes (:mod:`repro.verify.plan`, :mod:`repro.verify.program`)
+prove a :class:`~repro.core.hierarchical.HierarchicalPlan` *well-formed*; this
+module flags plans that are well-formed but carry a performance anti-pattern
+the planner's own objective can hide.  Every finding is WARNING severity —
+a linted plan still verifies ``ok`` and is still served — but the warnings
+ride on the same :class:`~repro.verify.base.VerificationReport`, so a caller
+(or ``python -m repro.verify --lint --strict-warnings``) can refuse to accept
+a plan that smells slow.  HetPipe- and HARP-style heterogeneous failures are
+exactly of this kind: nothing is malformed, the plan is just quietly
+imbalanced or its links oversubscribed.
+
+* ``W001`` — per-link bandwidth oversubscription: some stage's communication
+  stream is busy for more than :data:`COMM_BUSY_FRACTION` of the iteration;
+  the simulator queues sends without contention, so such plans look cheaper
+  than they run (the known comm-contention blind spot).
+* ``W002`` — exposed communication: transfer seconds left on the critical
+  path after overlap exceed :data:`EXPOSED_COMM_FRACTION` of the iteration.
+* ``W003`` — critical-path stage imbalance: the busiest stage does more than
+  :data:`STAGE_IMBALANCE_RATIO` times the work of the laziest.
+* ``W004`` — memory headroom: a stage's worst device sits above
+  :data:`MEMORY_HEADROOM_FRACTION` of its capacity — one activation spike
+  from an OOM even though the plan nominally fits.
+* ``W005`` — degenerate interleaving: the plan pays interleaved complexity
+  (``num_model_chunks > 1``) although a non-interleaved candidate at the
+  same stage count simulated at least as fast.
+* ``W006`` — dominated collective: a paid All-Gather variant is slower than
+  the other variant in the paper's Sec. 2.5.1 rule table by more than
+  :data:`DOMINATED_COMM_RTOL` (the synthesizer should have picked the
+  cheaper implementation for these sharding ratios).
+
+:func:`lint_plan` is the entry point; :func:`~repro.verify.plan.verify_plan`
+folds it in by default so cache hits are linted alongside the structural
+re-check.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Iterable
+
+from ..collectives.cost import CollectiveCostModel, CollectiveKind
+from ..core.instructions import CommInstruction
+from .base import Diagnostic, Severity, VerificationReport, VerifierPass, run_passes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.hierarchical import HierarchicalPlan
+
+#: W001 fires when a stage's comm stream is busy above this iteration fraction.
+COMM_BUSY_FRACTION = 0.75
+#: W002 fires when exposed transfer exceeds this fraction of the iteration.
+#: Calibrated against the paper testbeds, where healthy 2-stage plans sit at
+#: 26-33% exposed transfer; the lint flags the outliers well above that band.
+EXPOSED_COMM_FRACTION = 0.40
+#: W003 fires when max/min per-stage busy time exceeds this ratio.
+STAGE_IMBALANCE_RATIO = 1.5
+#: W004 fires when a stage's worst device exceeds this fraction of capacity.
+MEMORY_HEADROOM_FRACTION = 0.9
+#: W006 fires when a paid collective is slower than the best variant by more
+#: than this relative margin.
+DOMINATED_COMM_RTOL = 0.01
+
+#: All-Gather variants of the paper's Sec. 2.5.1 rule table (W006 candidates).
+_ALL_GATHER_KINDS = (CollectiveKind.ALL_GATHER, CollectiveKind.ALL_GATHER_GROUPED)
+
+
+class CommOversubscriptionPass(VerifierPass):
+    """W001: a pipeline link's send queue nearly saturates the iteration."""
+
+    name = "lint-comm-oversubscription"
+    codes = ("W001",)
+
+    def run(
+        self, plan: HierarchicalPlan, context: Dict[str, Any]
+    ) -> Iterable[Diagnostic]:
+        schedule = plan.schedule
+        if schedule.total <= 0:
+            return
+        for i, busy in enumerate(schedule.comm_busy):
+            fraction = busy / schedule.total
+            if fraction > COMM_BUSY_FRACTION:
+                yield Diagnostic(
+                    "W001",
+                    Severity.WARNING,
+                    f"communication stream busy {fraction:.0%} of the iteration "
+                    f"(> {COMM_BUSY_FRACTION:.0%}); queued sends are simulated "
+                    f"without contention, so the link is likely oversubscribed",
+                    f"stage {i}",
+                )
+
+
+class ExposedCommPass(VerifierPass):
+    """W002: too much transfer time survives overlap onto the critical path."""
+
+    name = "lint-exposed-comm"
+    codes = ("W002",)
+
+    def run(
+        self, plan: HierarchicalPlan, context: Dict[str, Any]
+    ) -> Iterable[Diagnostic]:
+        schedule = plan.schedule
+        if schedule.total <= 0:
+            return
+        fraction = schedule.exposed_transfer / schedule.total
+        if fraction > EXPOSED_COMM_FRACTION:
+            yield Diagnostic(
+                "W002",
+                Severity.WARNING,
+                f"exposed boundary transfer is {fraction:.0%} of the iteration "
+                f"(> {EXPOSED_COMM_FRACTION:.0%}); overlap hides too little of "
+                f"the activation/gradient traffic",
+                f"schedule {plan.schedule_name}",
+            )
+
+
+class StageImbalancePass(VerifierPass):
+    """W003: the pipeline's critical path is dominated by one stage."""
+
+    name = "lint-stage-imbalance"
+    codes = ("W003",)
+
+    def run(
+        self, plan: HierarchicalPlan, context: Dict[str, Any]
+    ) -> Iterable[Diagnostic]:
+        busy = plan.schedule.stage_busy
+        if len(busy) <= 1:
+            return
+        slowest, fastest = max(busy), min(busy)
+        if fastest <= 0 or slowest / fastest <= STAGE_IMBALANCE_RATIO:
+            return
+        yield Diagnostic(
+            "W003",
+            Severity.WARNING,
+            f"stage busy times span {fastest:.4g}s..{slowest:.4g}s "
+            f"(ratio {slowest / fastest:.2f} > {STAGE_IMBALANCE_RATIO}); the "
+            f"fast stages idle in the slow stage's shadow",
+            f"stage {busy.index(slowest)}",
+        )
+
+
+class MemoryHeadroomPass(VerifierPass):
+    """W004: a fitting plan with almost no per-device memory headroom."""
+
+    name = "lint-memory-headroom"
+    codes = ("W004",)
+
+    def run(
+        self, plan: HierarchicalPlan, context: Dict[str, Any]
+    ) -> Iterable[Diagnostic]:
+        if not plan.fits_memory:
+            return  # infeasibility is the L004 error's business, not a lint
+        for i, utilization in enumerate(plan.stage_memory_utilization):
+            if utilization >= MEMORY_HEADROOM_FRACTION:
+                yield Diagnostic(
+                    "W004",
+                    Severity.WARNING,
+                    f"worst device at {utilization:.0%} of memory capacity "
+                    f"(>= {MEMORY_HEADROOM_FRACTION:.0%}); one activation "
+                    f"spike from OOM",
+                    f"stage {i}",
+                )
+
+
+class DegenerateInterleavingPass(VerifierPass):
+    """W005: interleaving is paid for but buys no simulated bubble win."""
+
+    name = "lint-degenerate-interleaving"
+    codes = ("W005",)
+
+    def run(
+        self, plan: HierarchicalPlan, context: Dict[str, Any]
+    ) -> Iterable[Diagnostic]:
+        if plan.num_model_chunks <= 1:
+            return
+        rivals = [
+            time
+            for (stages, name, _m, _rc), time in plan.schedule_candidate_times.items()
+            if stages == plan.num_stages and name != "interleaved-1f1b"
+        ]
+        if not rivals:
+            return
+        best_rival = min(rivals)
+        if best_rival <= plan.estimated_time:
+            yield Diagnostic(
+                "W005",
+                Severity.WARNING,
+                f"interleaving with {plan.num_model_chunks} model chunks is "
+                f"estimated at {plan.estimated_time:.4g}s but a non-interleaved "
+                f"candidate at the same stage count simulated {best_rival:.4g}s; "
+                f"the extra chunk machinery buys no bubble win",
+                f"schedule {plan.schedule_name}",
+            )
+
+
+class DominatedCollectivePass(VerifierPass):
+    """W006: an All-Gather variant dominated by the paper's rule table."""
+
+    name = "lint-dominated-collective"
+    codes = ("W006",)
+
+    def run(
+        self, plan: HierarchicalPlan, context: Dict[str, Any]
+    ) -> Iterable[Diagnostic]:
+        for chunk in plan.chunk_sequence():
+            model = CollectiveCostModel(chunk.subcluster)
+            ratios = chunk.ratios
+            program = chunk.program
+            for instr in program.instructions:
+                if not isinstance(instr, CommInstruction):
+                    continue
+                if instr.kind not in _ALL_GATHER_KINDS:
+                    continue
+                ref = instr.input.ref
+                if ref not in program.graph:
+                    continue  # P001's problem, not a lint
+                total_bytes = float(program.graph[ref].spec.size_bytes)
+                paid = model.collective_time(instr.kind, total_bytes, ratios)
+                best_kind, best = model.best_all_gather(total_bytes, ratios)
+                if best_kind is not instr.kind and paid > best * (1.0 + DOMINATED_COMM_RTOL):
+                    yield Diagnostic(
+                        "W006",
+                        Severity.WARNING,
+                        f"{instr.kind.value} of {ref} costs {paid:.3g}s but "
+                        f"{best_kind.value} would cost {best:.3g}s for these "
+                        f"sharding ratios (Sec. 2.5.1 rule table)",
+                        f"virtual stage {chunk.virtual_index}: {instr.describe()}",
+                    )
+
+
+#: The default lint pipeline, in execution order.
+LINT_PASSES = (
+    CommOversubscriptionPass(),
+    ExposedCommPass(),
+    StageImbalancePass(),
+    MemoryHeadroomPass(),
+    DegenerateInterleavingPass(),
+    DominatedCollectivePass(),
+)
+
+
+def lint_plan(plan: HierarchicalPlan) -> VerificationReport:
+    """Run every performance lint over a finished hierarchical plan.
+
+    All findings are WARNING severity: the returned report is always ``ok``
+    unless a lint pass itself crashes.
+    """
+    return run_passes(LINT_PASSES, plan, {})

@@ -7,8 +7,10 @@ verifier MUST report for the mutation.  The test harness asserts exactly
 that, so the verifier's checks are pinned to real failure modes rather than
 to whatever they happen to flag today.
 
-Three families, mirroring the pass families:
+Four families, mirroring the pass families:
 
+* graph mutations (:data:`GRAPH_MUTATIONS`) — corrupt a
+  :class:`~repro.graph.graph.ComputationGraph` behind the builder's back;
 * program mutations (:data:`PROGRAM_MUTATIONS`) — corrupt a
   :class:`~repro.core.program.DistributedProgram`;
 * schedule mutations (:data:`SCHEDULE_MUTATIONS`) — corrupt per-stage task
@@ -30,6 +32,9 @@ from ..core.hierarchical import HierarchicalPlan
 from ..core.instructions import CommInstruction, CompInstruction, Instruction
 from ..core.program import DistributedProgram
 from ..core.properties import DistState, Property
+from ..graph.graph import ComputationGraph, Node
+from ..graph.ops import OpKind, get_op
+from ..graph.tensor import DType, TensorSpec
 from .schedule import Task
 
 
@@ -46,6 +51,83 @@ def _with_instructions(
         properties=program.properties,
         num_devices=program.num_devices,
     )
+
+
+# -- graph mutations -----------------------------------------------------------
+
+def _last_compute_node(graph: ComputationGraph) -> Node:
+    """The last non-source node of rank >= 1.
+
+    Topological order puts it at the sink end of the graph, so in practice
+    nothing consumes it and the injected defect cannot cascade into a
+    consumer's re-derivation — the pinned code is the one diagnostic the
+    checker must emit.
+    """
+    candidates = [
+        node
+        for node in graph
+        if get_op(node.op).kind is not OpKind.SOURCE and node.spec.rank >= 1
+    ]
+    if not candidates:
+        raise MutationError("graph has no non-source node with rank >= 1")
+    return candidates[-1]
+
+
+def corrupt_shape(graph: ComputationGraph) -> Tuple[ComputationGraph, str]:
+    """Grow one dimension of a node's recorded spec -> G001."""
+    mutated = copy.deepcopy(graph)
+    node = _last_compute_node(mutated)
+    bad_shape = (node.spec.shape[0] + 1,) + node.spec.shape[1:]
+    node.spec = TensorSpec(bad_shape, node.spec.dtype)
+    return mutated, "G001"
+
+
+def flip_dtype(graph: ComputationGraph) -> Tuple[ComputationGraph, str]:
+    """Flip a node's recorded dtype -> G002."""
+    mutated = copy.deepcopy(graph)
+    node = _last_compute_node(mutated)
+    bad = DType.FLOAT16 if node.spec.dtype is not DType.FLOAT16 else DType.FLOAT32
+    node.spec = TensorSpec(node.spec.shape, bad)
+    return mutated, "G002"
+
+
+def dangle_input(graph: ComputationGraph) -> Tuple[ComputationGraph, str]:
+    """Point one node at a name the graph never defines -> G003."""
+    mutated = copy.deepcopy(graph)
+    for node in mutated:
+        if node.inputs:
+            node.inputs = ("__dangling__",) + node.inputs[1:]
+            return mutated, "G003"
+    raise MutationError("graph has no node with inputs")
+
+
+def orphan_node(graph: ComputationGraph) -> Tuple[ComputationGraph, str]:
+    """Splice in a computation nothing consumes or outputs -> G004."""
+    mutated = copy.deepcopy(graph)
+    feed = next((node for node in mutated), None)
+    if feed is None:
+        raise MutationError("graph is empty")
+    orphan = Node(
+        name="__orphan__",
+        op="identity",
+        inputs=(feed.name,),
+        attrs={},
+        spec=feed.spec,
+    )
+    mutated._nodes[orphan.name] = orphan
+    mutated._order.append(orphan.name)
+    return mutated, "G004"
+
+
+#: name -> mutator over a ComputationGraph.
+GRAPH_MUTATIONS: Dict[
+    str, Callable[[ComputationGraph], Tuple[ComputationGraph, str]]
+] = {
+    "corrupt_shape": corrupt_shape,
+    "flip_dtype": flip_dtype,
+    "dangle_input": dangle_input,
+    "orphan_node": orphan_node,
+}
 
 
 # -- program mutations ---------------------------------------------------------

@@ -295,12 +295,14 @@ def verify_plan(
     check_programs: bool = True,
     check_schedule: bool = True,
     check_cost: bool = True,
+    lint: bool = True,
 ) -> VerificationReport:
     """Verify a hierarchical plan end to end.
 
     Composes the plan structure checks with the program checks over every
     chunk program (each against its own machine group and sharding ratios)
-    and the schedule checks over the plan's canonical task orders.
+    and the schedule checks over the plan's canonical task orders, plus the
+    warning-severity performance lints (:mod:`repro.verify.lint`).
 
     Args:
         plan: the plan to verify.
@@ -310,8 +312,15 @@ def verify_plan(
         check_cost: include the P008 cost cross-check per program (the most
             expensive check; the cache-hit guard disables it to keep warm
             lookups O(instructions)).
+        lint: run the W001–W006 performance lints.  Warnings never flip
+            ``report.ok``, so cache-hit acceptance is unaffected — but hits
+            get the same audit trail as freshly planned requests.
     """
     report = verify_plan_structure(plan, forward)
+    if lint:
+        from .lint import lint_plan  # local import: lint depends on plan types
+
+        report.merge(lint_plan(plan), prefix="lint")
     if check_programs:
         for chunk in plan.chunk_sequence():
             sub = verify_program(

@@ -616,8 +616,10 @@ class TestHierarchicalPlanner:
         )
 
     def test_rejects_training_graphs(self):
+        from repro.graph.graph import GraphError
+
         training = build_training_graph(build_mlp()).graph
-        with pytest.raises(Exception):
+        with pytest.raises(GraphError):
             HierarchicalPlanner(training, make_cluster(), hier_config())
         with pytest.raises(ValueError):
             hap_pipeline(training, make_cluster())
@@ -1112,7 +1114,7 @@ class TestInterleavedRuntimeParity:
         executor = HierarchicalExecutor(plan, num_microbatches=8)
         sweep = executor._task_orders(3)  # 3 % s != 0 -> sequential sweep
         assert all(len(order) == 3 * 2 * 2 for order in sweep)
-        for i, order in enumerate(sweep):
+        for order in sweep:
             # Per microbatch: forwards chunk 0 then 1, backwards reversed.
             assert order[:4] == [("F", 0, 0), ("F", 1, 0), ("B", 1, 0), ("B", 0, 0)]
 

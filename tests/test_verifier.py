@@ -1,21 +1,28 @@
-"""Static plan verifier (src/repro/verify/).
+"""Static analysis suite (src/repro/verify/).
 
-Positive direction: every registry model's hierarchically planned program,
-plan and schedule must verify clean (and the ``verify_after_plan`` hooks —
-on suite-wide via ``REPRO_VERIFY`` — mean every *other* test's plans are
-verified too).  Negative direction: every seeded corruption from the
-mutation harness must be caught with its expected diagnostic code, and a
-cache entry hand-corrupted on disk must be rejected by the verify-on-hit
-path as a diagnosed miss instead of being replayed.
+Positive direction: every registry model's graph IR (forward, training, and
+planner-cut chunk graphs) must check clean, and every hierarchically planned
+program, plan and schedule must verify clean (and the ``verify_after_plan``
+hooks — on suite-wide via ``REPRO_VERIFY`` — mean every *other* test's plans
+are verified too).  Negative direction: every seeded corruption from the
+mutation harness must be caught with its expected diagnostic code, every
+performance lint must fire on its deliberately-bad fixture plan and stay
+silent on a clean one, and a cache entry hand-corrupted on disk must be
+rejected by the verify-on-hit path as a diagnosed miss instead of being
+replayed.
 """
 
+import copy
 import dataclasses
+import json
 import pickle
 from pathlib import Path
 
 import pytest
 
+from repro.autodiff import build_training_graph
 from repro.cluster import ClusterSpec, Machine, NetworkSpec, device_type
+from repro.collectives.cost import CollectiveCostModel, CollectiveKind
 from repro.core import (
     DiskPlanCache,
     HAPPlanner,
@@ -26,16 +33,22 @@ from repro.core import (
 )
 from repro.core.config import verify_default
 from repro.core.instructions import CommInstruction
+from repro.graph.graph import ComputationGraph
 from repro.models.registry import MODEL_NAMES, build_tiny_model
 from repro.simulator.schedule import get_schedule
 from repro.verify import (
     PlanVerificationError,
     Severity,
+    lint_plan,
+    verify_graph,
     verify_plan,
     verify_program,
     verify_schedule_orders,
 )
+from repro.verify import cli as verify_cli
+from repro.verify.base import Diagnostic, VerificationReport
 from repro.verify.mutate import (
+    GRAPH_MUTATIONS,
     PLAN_MUTATIONS,
     PROGRAM_MUTATIONS,
     SCHEDULE_MUTATIONS,
@@ -76,6 +89,23 @@ def bert_plan(bert_forward):
     """A two-stage pipeline plan over the tiny BERT (module-scoped: ~1s)."""
     plan = HierarchicalPlanner(bert_forward, two_group_cluster(), hier_config()).plan()
     assert plan.num_stages == 2  # the mutations below exercise real boundaries
+    return plan
+
+
+@pytest.fixture(scope="module")
+def sharded_plan(bert_forward):
+    """A two-stage plan whose chunks shard across 4 virtual devices each.
+
+    Eight single-GPU machines grouped per-machine: chunk programs carry real
+    collectives (all-gather, all-reduce), which the W006 lint and the
+    dominated-collective fixtures need.
+    """
+    machines = [
+        Machine(f"m{i}", device_type("V100"), num_gpus=1) for i in range(8)
+    ]
+    cluster = ClusterSpec(machines, network=NetworkSpec(), group_by_machine=True)
+    plan = HierarchicalPlanner(bert_forward, cluster, hier_config()).plan()
+    assert plan.num_stages == 2
     return plan
 
 
@@ -336,3 +366,222 @@ class TestStageBoundaryAudit:
                 assert len(mask) == len(stage.comps)
                 if stage.comm is None:
                     assert not any(mask)
+
+
+# ---------------------------------------------------------------------------
+# graph checker: G-code positives and seeded corruptions
+# ---------------------------------------------------------------------------
+
+class TestGraphChecker:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_registry_graphs_check_clean(self, name):
+        forward = build_tiny_model(name)
+        report = verify_graph(forward)
+        assert report.ok and not report.warnings, report.describe()
+        training = build_training_graph(forward, lr=0.1).graph
+        report = verify_graph(training)
+        assert report.ok and not report.warnings, report.describe()
+
+    def test_all_chunk_graphs_check_clean(self, bert_plan, sharded_plan):
+        for plan in (bert_plan, sharded_plan):
+            for chunk in plan.chunk_sequence():
+                report = verify_graph(chunk.info.graph)
+                assert report.ok and not report.warnings, (
+                    f"virtual stage {chunk.virtual_index}: {report.describe()}"
+                )
+
+    def test_batch_mixing_detected(self):
+        # Shapes alone cannot see this: matmul([4,8],[8,3]) infers fine, but
+        # the two placeholders carry different leading batch dimensions.
+        g = ComputationGraph("mix")
+        g.add_node("a", "placeholder", (), {"shape": (4, 8)})
+        g.add_node("b", "placeholder", (), {"shape": (8, 3)})
+        g.add_node("c", "matmul", ("a", "b"), {})
+        g.mark_output("c")
+        report = verify_graph(g)
+        assert "G005" in report.codes(), report.describe()
+
+    def test_roots_keep_boundary_consumers_alive(self):
+        # A stage-graph-style node whose consumer lives in *another* stage is
+        # dead without roots and alive with them.
+        g = ComputationGraph("stagey")
+        g.add_node("x", "placeholder", (), {"shape": (4, 8)})
+        g.add_node("y", "relu", ("x",), {})
+        assert "G004" in verify_graph(g).codes()
+        assert verify_graph(g, roots=["y"]).ok
+
+    def test_flat_planner_rejects_corrupt_graph(self):
+        graph = build_training_graph(build_mlp()).graph
+        mutated, expected = GRAPH_MUTATIONS["corrupt_shape"](graph)
+        with pytest.raises(PlanVerificationError) as err:
+            HAPPlanner(mutated, make_cluster(), small_planner())
+        assert expected in err.value.report.codes()
+
+    def test_hierarchical_planner_rejects_corrupt_forward(self, bert_forward):
+        mutated, expected = GRAPH_MUTATIONS["dangle_input"](bert_forward)
+        with pytest.raises(PlanVerificationError) as err:
+            HierarchicalPlanner(mutated, two_group_cluster(), hier_config())
+        assert expected in err.value.report.codes()
+
+
+class TestGraphMutations:
+    @pytest.mark.parametrize("mutation", sorted(GRAPH_MUTATIONS))
+    def test_mutation_caught(self, mutation):
+        graph = build_training_graph(build_mlp()).graph
+        assert verify_graph(graph).ok  # the corruption is the only defect
+        mutated, expected = GRAPH_MUTATIONS[mutation](graph)
+        report = verify_graph(mutated)
+        assert not report.ok, f"{mutation} went undiagnosed"
+        assert expected in report.codes(), (
+            f"{mutation}: expected {expected}, got {report.codes()}\n{report.describe()}"
+        )
+
+    @pytest.mark.parametrize("mutation", sorted(GRAPH_MUTATIONS))
+    def test_mutation_caught_on_bert_training_graph(self, bert_forward, mutation):
+        graph = build_training_graph(bert_forward, lr=0.1).graph
+        mutated, expected = GRAPH_MUTATIONS[mutation](graph)
+        assert expected in verify_graph(mutated).codes()
+
+
+# ---------------------------------------------------------------------------
+# plan linter: every W code fires on its bad fixture, stays silent on clean
+# ---------------------------------------------------------------------------
+
+class TestLint:
+    def test_clean_plans_produce_no_warnings(self, bert_plan, sharded_plan):
+        # No vacuous lints: real planner output on both fixture clusters is
+        # warning-free, so every warning in the tests below is provoked.
+        for plan in (bert_plan, sharded_plan):
+            report = lint_plan(plan)
+            assert report.ok and not report.warnings, report.describe()
+
+    def test_w001_comm_oversubscription(self, bert_plan):
+        bad = copy.deepcopy(bert_plan)
+        total = bad.schedule.total
+        bad.schedule.comm_busy = [0.9 * total for _ in bad.schedule.comm_busy]
+        report = lint_plan(bad)
+        assert "W001" in report.codes(), report.describe()
+        assert report.ok  # warnings never flip ok
+
+    def test_w002_exposed_comm(self, bert_plan):
+        bad = copy.deepcopy(bert_plan)
+        bad.schedule.exposed_transfer = 0.5 * bad.schedule.total
+        assert "W002" in lint_plan(bad).codes()
+        clean = copy.deepcopy(bert_plan)
+        clean.schedule.exposed_transfer = 0.1 * clean.schedule.total
+        assert "W002" not in lint_plan(clean).codes()
+
+    def test_w003_stage_imbalance(self, bert_plan):
+        bad = copy.deepcopy(bert_plan)
+        bad.schedule.stage_busy = [1.0, 2.0]
+        assert "W003" in lint_plan(bad).codes()
+        clean = copy.deepcopy(bert_plan)
+        clean.schedule.stage_busy = [1.0, 1.2]
+        assert "W003" not in lint_plan(clean).codes()
+
+    def test_w004_memory_headroom(self, bert_plan):
+        bad = copy.deepcopy(bert_plan)
+        bad.stage_memory_utilization = [0.95] + bad.stage_memory_utilization[1:]
+        assert bad.fits_memory
+        assert "W004" in lint_plan(bad).codes()
+        # An honestly-infeasible plan is L004's business, not a headroom lint.
+        bad.fits_memory = False
+        assert "W004" not in lint_plan(bad).codes()
+
+    def test_w005_degenerate_interleaving(self, bert_plan):
+        bad = copy.deepcopy(bert_plan)
+        bad.num_model_chunks = 2
+        key = (bad.num_stages, "1f1b", bad.num_microbatches, False)
+        bad.schedule_candidate_times[key] = bad.estimated_time  # no win
+        assert "W005" in lint_plan(bad).codes()
+        # With a genuine bubble win over *every* non-interleaved candidate at
+        # this stage count the interleaving is earning its keep.
+        for rival in list(bad.schedule_candidate_times):
+            if rival[0] == bad.num_stages and rival[1] != "interleaved-1f1b":
+                bad.schedule_candidate_times[rival] = 2.0 * bad.estimated_time
+        assert "W005" not in lint_plan(bad).codes()
+
+    def test_w006_dominated_collective(self, sharded_plan):
+        bad = copy.deepcopy(sharded_plan)
+        for chunk in bad.chunk_sequence():
+            model = CollectiveCostModel(chunk.subcluster)
+            instructions = chunk.program.instructions
+            for idx, instr in enumerate(instructions):
+                if not isinstance(instr, CommInstruction):
+                    continue
+                ref = instr.input.ref
+                total_bytes = float(chunk.program.graph[ref].spec.size_bytes)
+                best_kind, _ = model.best_all_gather(total_bytes, chunk.ratios)
+                loser = (
+                    CollectiveKind.ALL_GATHER_GROUPED
+                    if best_kind is CollectiveKind.ALL_GATHER
+                    else CollectiveKind.ALL_GATHER
+                )
+                instructions[idx] = dataclasses.replace(instr, kind=loser)
+                report = lint_plan(bad)
+                assert "W006" in report.codes(), report.describe()
+                return
+        pytest.fail("sharded_plan has no collective to flip")
+
+    def test_verify_plan_folds_lint_in(self, bert_plan, bert_forward):
+        bad = copy.deepcopy(bert_plan)
+        bad.schedule.exposed_transfer = 0.5 * bad.schedule.total
+        report = verify_plan(bad, bert_forward)
+        assert report.ok  # still no error-severity findings
+        assert "W002" in report.codes()
+        assert any("lint" in d.location for d in report.warnings)
+        # Opting out skips the W passes entirely.
+        quiet = verify_plan(bad, bert_forward, lint=False)
+        assert not [c for c in quiet.codes() if c.startswith("W")]
+
+
+# ---------------------------------------------------------------------------
+# CLI: --lint / --strict-warnings / --json
+# ---------------------------------------------------------------------------
+
+class TestVerifyCli:
+    def _fake_registry(self, warn: bool):
+        def fake(models, num_gpus=16, gpus_per_machine=8, beam=8, lint=False):
+            report = VerificationReport()
+            report.passes_run.append("lint-exposed-comm")
+            if lint and warn:
+                report.add(
+                    Diagnostic(
+                        "W002", Severity.WARNING, "exposed", "schedule gpipe"
+                    )
+                )
+            return [
+                verify_cli.CaseResult("bert_base", "hetero-16gpu", 1e-3, 1e-4, report)
+            ]
+
+        return fake
+
+    def test_strict_warnings_turns_warnings_into_failure(self, monkeypatch):
+        monkeypatch.setattr(verify_cli, "verify_registry", self._fake_registry(True))
+        assert verify_cli.main(["--lint"]) == 0
+        assert verify_cli.main(["--lint", "--strict-warnings"]) == 1
+
+    def test_strict_warnings_passes_on_clean_run(self, monkeypatch):
+        monkeypatch.setattr(verify_cli, "verify_registry", self._fake_registry(False))
+        assert verify_cli.main(["--lint", "--strict-warnings"]) == 0
+
+    def test_errors_still_fail_without_strict(self, monkeypatch):
+        def fake(models, num_gpus=16, gpus_per_machine=8, beam=8, lint=False):
+            report = VerificationReport()
+            report.add(Diagnostic("G001", Severity.ERROR, "bad shape", "node x"))
+            return [
+                verify_cli.CaseResult("vit", "homog-p100-16gpu", 1e-3, 0.0, report)
+            ]
+
+        monkeypatch.setattr(verify_cli, "verify_registry", fake)
+        assert verify_cli.main([]) == 1
+
+    def test_json_output_is_machine_readable(self, monkeypatch, capsys):
+        monkeypatch.setattr(verify_cli, "verify_registry", self._fake_registry(True))
+        assert verify_cli.main(["--lint", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (case,) = payload["cases"]
+        assert case["model"] == "bert_base"
+        assert case["ok"] is True
+        assert case["warning_codes"] == ["W002"]
+        assert case["lint_ms"] > 0
