@@ -9,7 +9,9 @@ compare against.  Each row also times a third configuration with only
 ``enable_vectorized_cost`` off (the ``vectorized_speedup`` column), isolating
 the numpy-batched beam ranking from the other hot-path wins.  It also A/Bs
 ``enable_block_reuse`` on a 48-layer BERT, where the synthesizer records each
-distinct block once and replays it.
+distinct block once and replays it, and ``synthesis_workers`` on the same
+model, where beam expansion is sharded across forked workers at every search
+level (serial vs parallel, bit-identical by contract).
 
 Usage::
 
@@ -28,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -35,7 +38,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.cluster import ClusterSpec, Machine, NetworkSpec, device_type
-from repro.core import ProgramSynthesizer, SynthesisConfig
+from repro.core import ProgramSynthesizer, SynthesisConfig, close_shared_pool
 from repro.models import MODEL_NAMES, BenchmarkScale, build_model
 
 #: The hot-path optimisation switches A/B-ed by this harness.
@@ -212,6 +215,74 @@ def bench_block_reuse(args: argparse.Namespace) -> Dict[str, object]:
     return row
 
 
+def bench_beam_parallel(args: argparse.Namespace) -> Dict[str, object]:
+    """A/B ``synthesis_workers`` on the deep transformer registry model.
+
+    Parallel beam expansion shards the beam across forked workers at every
+    search level, so the win scales with beam *width*: the section runs at the
+    sweep default width 32, where each per-level shard carries enough
+    expansion work to amortize the per-level fan-out/merge, and on *depth*
+    (the 48-layer BERT has ~1.6k levels, so per-level overheads compound).
+    Block reuse stays off — replay skips expansion entirely, which is the
+    composition the pipeline benchmark exercises instead.  Both paths must
+    produce byte-identical programs, costs, and expansion counters (the
+    determinism contract of ``tests/test_parallel_planning.py``); each repeat
+    constructs a fresh synthesizer, so the measured parallel time includes
+    the pool re-fork — the cold-run cost a first ``plan()`` call pays.
+    """
+    scale = BenchmarkScale("reuse", layer_fraction=4.0, batch_per_device=32)
+    model, num_devices, beam_width = "bert_base", 8, 32
+    workers = args.synthesis_workers
+    cluster = heterogeneous_cluster(num_devices)
+    graph = build_model(model, num_gpus=num_devices, scale=scale)
+
+    def make(**flags) -> ProgramSynthesizer:
+        config = SynthesisConfig(
+            search_strategy="beam", beam_width=beam_width, **flags
+        )
+        return ProgramSynthesizer(graph, cluster, config)
+
+    serial = time_synthesis(make, args.repeats)
+    try:
+        parallel = time_synthesis(
+            lambda: make(synthesis_workers=workers), args.repeats
+        )
+    finally:
+        close_shared_pool()
+
+    serial_result = serial.pop("result")
+    parallel_result = parallel.pop("result")
+    parity = (
+        serial_result.cost == parallel_result.cost
+        and list(serial_result.program.instructions)
+        == list(parallel_result.program.instructions)
+        and serial_result.expanded_states == parallel_result.expanded_states
+        and serial_result.generated_states == parallel_result.generated_states
+    )
+    row = {
+        "model": model,
+        "num_devices": num_devices,
+        "strategy": "beam+parallel",
+        "graph_nodes": len(graph.node_names),
+        "beam_width": beam_width,
+        "layer_fraction": scale.layer_fraction,
+        "synthesis_workers": workers,
+        "cpu_count": os.cpu_count(),
+        "repeats": args.repeats,
+        "serial": serial,
+        "parallel": parallel,
+        "beam_parallel_speedup": serial["seconds"] / parallel["seconds"],
+        "parity": parity,
+    }
+    print(
+        f"{model:>10} m={num_devices:<3} beam+parallel "
+        f"(workers={workers}, {os.cpu_count()} cores): "
+        f"serial={serial['seconds']:.3f}s parallel={parallel['seconds']:.3f}s "
+        f"speedup={row['beam_parallel_speedup']:.2f}x parity={parity}"
+    )
+    return row
+
+
 def run_benchmark(args: argparse.Namespace) -> Dict[str, object]:
     if args.full:
         scale = BenchmarkScale.paper()
@@ -254,8 +325,14 @@ def run_benchmark(args: argparse.Namespace) -> Dict[str, object]:
     # path *with* reuse); having the most graph nodes it becomes the headline.
     block_reuse = bench_block_reuse(args)
     rows.append(block_reuse)
+    beam_parallel = bench_beam_parallel(args)
+    rows.append(beam_parallel)
     largest_nodes = max(r["graph_nodes"] for r in rows)
-    headline_rows = [r for r in rows if r["graph_nodes"] == largest_nodes]
+    # The beam-parallel row has no naive baseline (it A/Bs serial vs parallel
+    # on the optimized path), so it never competes for the headline.
+    headline_rows = [
+        r for r in rows if r["graph_nodes"] == largest_nodes and "speedup" in r
+    ]
     headline = max(headline_rows, key=lambda r: r["speedup"])
     summary = {
         "largest_model": headline["model"],
@@ -267,6 +344,8 @@ def run_benchmark(args: argparse.Namespace) -> Dict[str, object]:
         "headline_speedup": headline["speedup"],
         "all_parity": all(r["parity"] for r in rows),
         "block_reuse_speedup": block_reuse["block_reuse_speedup"],
+        "beam_parallel_speedup": beam_parallel["beam_parallel_speedup"],
+        "synthesis_workers": beam_parallel["synthesis_workers"],
     }
     print(
         f"\nheadline: {summary['largest_model']} (m={summary['headline_num_devices']}, "
@@ -320,6 +399,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "per-layer search — the CI guard for the block-reuse win",
     )
     parser.add_argument(
+        "--synthesis-workers",
+        type=int,
+        default=4,
+        help="worker count for the parallel beam-expansion A/B section",
+    )
+    parser.add_argument(
+        "--min-beam-parallel-speedup",
+        type=float,
+        default=None,
+        help="fail (exit 2) if synthesis_workers on the deep registry "
+        "transformer is not at least this much faster than the serial "
+        "optimized search — the CI guard for parallel beam expansion "
+        "(needs >= --synthesis-workers usable cores to be meaningful)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=Path("benchmarks/results/BENCH_synthesis.json"),
@@ -355,6 +449,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"registry transformer is below the "
                 f"--min-block-reuse-speedup guard of "
                 f"{args.min_block_reuse_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 2
+    if args.min_beam_parallel_speedup is not None:
+        beam_parallel = report["summary"]["beam_parallel_speedup"]
+        if beam_parallel < args.min_beam_parallel_speedup:
+            print(
+                f"ERROR: parallel beam-expansion speedup "
+                f"{beam_parallel:.2f}x with "
+                f"{report['summary']['synthesis_workers']} workers is below "
+                f"the --min-beam-parallel-speedup guard of "
+                f"{args.min_beam_parallel_speedup:.2f}x",
                 file=sys.stderr,
             )
             return 2

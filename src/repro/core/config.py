@@ -110,6 +110,19 @@ class SynthesisConfig:
             error-severity diagnostic.  Defaults to the ``REPRO_VERIFY``
             environment variable (on in tests); excluded from plan-cache keys
             (verification never changes the plan).
+        synthesis_workers: worker processes used to expand each beam level in
+            parallel (1 = serial, the default).  Each level shards the
+            entering states across a persistent fork-based pool shared with
+            ``planner_workers`` (see :mod:`repro.core.workerpool`); workers
+            return compactly encoded children and the parent merges and ranks
+            them in serial generation order, so the surviving beam — and the
+            synthesized program, its cost, and the ``expanded_states`` /
+            ``generated_states`` counters — are bit-identical to serial.
+            Only the level-synchronised beam search uses it (A* ignores the
+            flag), replayed block-reuse occurrences skip the pool, and the
+            count is clamped to the process budget so nesting under
+            ``planner_workers`` never oversubscribes the machine.  Excluded
+            from plan-cache keys (parallelism never changes the plan).
     """
 
     enable_sfb: bool = True
@@ -135,6 +148,13 @@ class SynthesisConfig:
     # expert parallelism for rank-3 (expert) parameters.
     force_data_parallel: bool = False
     expert_parallel_parameters: bool = False
+    synthesis_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.synthesis_workers < 1:
+            raise ValueError(
+                f"synthesis_workers must be >= 1, got {self.synthesis_workers}"
+            )
 
 
 @dataclass

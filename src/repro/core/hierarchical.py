@@ -41,7 +41,6 @@ from __future__ import annotations
 import concurrent.futures
 import copy
 import dataclasses
-import multiprocessing
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -59,6 +58,7 @@ from ..simulator.schedule import (
     get_schedule,
     simulate_pipeline,
 )
+from . import workerpool
 from .config import PlannerConfig, verify_default
 from .costmodel import CostModel
 from .pipeline import HAPPlan, HAPPlanner
@@ -137,8 +137,11 @@ class HierarchicalConfig:
         planner_workers: worker processes evaluating the candidate grid.  1
             (the default) is the serial path.  With more, :meth:`plan` fans
             the (stage count x chunk variant) cells — each cell runs the
-            expensive per-chunk flat-HAP synthesis and profiling — out to a
-            :class:`concurrent.futures.ProcessPoolExecutor` and assembles
+            expensive per-chunk flat-HAP synthesis and profiling — out to
+            the persistent shared pool of :mod:`repro.core.workerpool`
+            (created lazily, reused by consecutive ``plan()`` calls and by
+            ``synthesis_workers``, torn down by
+            :meth:`HierarchicalPlanner.close`) and assembles
             the schedule search and candidate selection in the parent, in
             the serial candidate order with the serial tie-breaks, so the
             selected plan is **bit-identical** to ``planner_workers=1``
@@ -1094,13 +1097,24 @@ class HierarchicalPlanner:
     def _plan_grid_parallel(
         self, grid: Sequence[Tuple[int, int]]
     ) -> Dict[int, Dict[int, Tuple[PipelineCut, List[StagePlan], List[StageTimes]]]]:
-        """Evaluate the candidate grid on a process pool.
+        """Evaluate the candidate grid on the shared worker pool.
 
-        One task per (stage count, model-chunk count) cell.  A configured
-        :class:`~repro.core.plancache.DiskPlanCache` is shared with the
-        workers by directory — synthesis finished by one worker is a cache
-        hit for the others and for future runs; a plain in-memory cache is
-        snapshotted into every worker and the workers' fresh entries are
+        One task per (stage count, model-chunk count) cell, dispatched to the
+        process-wide pool of :mod:`repro.core.workerpool` — the same workers
+        ``synthesis_workers`` shards beam levels across.  The pool is created
+        lazily and *persists* across ``plan()`` calls, so warm re-plans no
+        longer pay the per-plan ``ProcessPoolExecutor`` fork/teardown this
+        method used to incur; :meth:`close` (or
+        :func:`repro.core.workerpool.close_shared_pool`) tears it down
+        explicitly.  Each cell carries an equal share of this process's
+        worker budget, so a cell whose own config sets ``synthesis_workers``
+        forks at most ``budget // planner_workers`` nested workers instead of
+        oversubscribing the machine.
+
+        A configured :class:`~repro.core.plancache.DiskPlanCache` is shared
+        with the workers by directory — synthesis finished by one worker is a
+        cache hit for the others and for future runs; a plain in-memory cache
+        is snapshotted into every worker and the workers' fresh entries are
         merged back afterwards.  Results are collected in submission order
         (cells are independent, so completion order cannot influence the
         outcome), and ``reuse_stats`` are reconstructed by replaying every
@@ -1121,36 +1135,38 @@ class HierarchicalPlanner:
         base_config = dataclasses.replace(
             self.config, plan_cache=None, planner_workers=1
         )
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # platforms without fork: use the default method
-            context = multiprocessing.get_context()
+        child_budget = max(1, workerpool.process_budget() // workers)
+        tasks = [
+            (
+                self.forward,
+                self.cluster,
+                base_config,
+                cache_dir,
+                seed_entries,
+                num_stages,
+                chunks,
+                child_budget,
+            )
+            for num_stages, chunks in grid
+        ]
+        if workerpool.fork_available():
+            pool = workerpool.shared_pool(workers)
+            outcomes = pool.run_tasks(_plan_variant_pool_task, None, tasks)
+        else:  # pragma: no cover - platforms without fork pay per-plan spawn
+            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as executor:
+                futures = [
+                    executor.submit(_plan_variant_pool_task, None, task) for task in tasks
+                ]
+                outcomes = [future.result() for future in futures]
         variants: Dict[int, Dict[int, Tuple[PipelineCut, List[StagePlan], List[StageTimes]]]] = {}
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers, mp_context=context
-        ) as pool:
-            futures = [
-                pool.submit(
-                    _plan_variant_task,
-                    self.forward,
-                    self.cluster,
-                    base_config,
-                    cache_dir,
-                    seed_entries,
-                    num_stages,
-                    chunks,
-                )
-                for num_stages, chunks in grid
-            ]
-            for future in futures:
-                num_stages, chunks, built, key_log, fresh = future.result()
-                if built is not None:
-                    variants.setdefault(num_stages, {})[chunks] = built
-                self._replay_reuse_stats(key_log, warm_keys)
-                for entry in fresh:
-                    if cache is not None:
-                        cache.put(entry)
-                    self._local_plans.setdefault(entry.key, entry)
+        for num_stages, chunks, built, key_log, fresh in outcomes:
+            if built is not None:
+                variants.setdefault(num_stages, {})[chunks] = built
+            self._replay_reuse_stats(key_log, warm_keys)
+            for entry in fresh:
+                if cache is not None:
+                    cache.put(entry)
+                self._local_plans.setdefault(entry.key, entry)
         return variants
 
     def _replay_reuse_stats(
@@ -1286,6 +1302,23 @@ class HierarchicalPlanner:
                 raise PlanVerificationError(report)
         return best
 
+    # -- worker-pool lifecycle --------------------------------------------------------
+    def close(self) -> None:
+        """Tear down the shared worker pool kept warm between ``plan()`` calls.
+
+        The pool is process-wide (other planners and ``synthesis_workers``
+        share it) and re-forks lazily if planning continues afterwards, so
+        closing is always safe — it only trades the next plan's warm start
+        for releasing the worker processes now.
+        """
+        workerpool.close_shared_pool()
+
+    def __enter__(self) -> "HierarchicalPlanner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
 
 def _plan_variant_task(
     forward: ComputationGraph,
@@ -1302,8 +1335,9 @@ def _plan_variant_task(
     ``cache_dir`` opens the shared :class:`~repro.core.plancache.DiskPlanCache`
     directory, ``seed_entries`` reconstructs a snapshot of the parent's
     in-memory cache, and no cache at all mirrors a cache-less parent.  The
-    worker always runs serially (``planner_workers=1``) — cells are the unit
-    of parallelism, not nested pools.  Returns the built variant, the
+    worker never fans out another grid (``planner_workers=1``); its synthesis
+    may still shard beam levels within the worker budget installed by
+    :func:`_plan_variant_pool_task`.  Returns the built variant, the
     ordered chunk-key log (the parent replays it into ``reuse_stats``), and
     the cache entries the worker created (for the parent to merge back).
     """
@@ -1321,3 +1355,29 @@ def _plan_variant_task(
     partition = planner._candidate_partition(num_stages)
     built = planner._build_variant(partition, chunks)
     return num_stages, chunks, built, list(planner._chunk_key_log), list(planner._fresh_entries)
+
+
+def _plan_variant_pool_task(_payload, args):
+    """Shared-pool adapter of :func:`_plan_variant_task`.
+
+    Installs the cell's share of the parent's worker budget before planning,
+    so a cell whose synthesis config sets ``synthesis_workers`` forks at most
+    ``budget // planner_workers`` nested beam workers (usually 1, i.e. serial
+    synthesis) instead of oversubscribing the machine.  The unused first
+    parameter is the worker-pool payload slot (grid cells carry their whole
+    context in ``args``).
+    """
+    (
+        forward,
+        cluster,
+        config,
+        cache_dir,
+        seed_entries,
+        num_stages,
+        chunks,
+        child_budget,
+    ) = args
+    workerpool.set_process_budget(child_budget)
+    return _plan_variant_task(
+        forward, cluster, config, cache_dir, seed_entries, num_stages, chunks
+    )

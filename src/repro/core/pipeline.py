@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 from ..cluster.spec import ClusterSpec
 from ..graph.analysis import segment_graph
 from ..graph.graph import ComputationGraph
+from . import workerpool
 from .config import PlannerConfig
 from .costmodel import CostBreakdown, CostModel
 from .load_balancer import LoadBalancer
@@ -86,7 +87,17 @@ class HAPPlan:
 
 
 class HAPPlanner:
-    """End-to-end HAP planning: theory construction, A* synthesis, LP balancing."""
+    """End-to-end HAP planning: theory construction, A* synthesis, LP balancing.
+
+    The planner keeps one :class:`~repro.core.synthesizer.ProgramSynthesizer`
+    for all optimisation rounds, so with ``synthesis_workers`` set the rounds
+    also share one fork of the lazily created worker pool
+    (:mod:`repro.core.workerpool`) — re-registering an unchanged synthesizer
+    never re-forks.  The pool outlives the planner by design (the next plan
+    starts warm); use :meth:`close`, the context-manager form, or
+    :func:`repro.core.workerpool.close_shared_pool` to release the worker
+    processes explicitly.
+    """
 
     def __init__(
         self,
@@ -155,6 +166,21 @@ class HAPPlanner:
         base = self.cluster.proportional_ratios()
         segments = self.config.load_balancer.num_segments if self.segment_of else 1
         return [list(base) for _ in range(max(segments, 1))]
+
+    # -- worker-pool lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Release the shared worker pool ``synthesis_workers`` draws from.
+
+        Process-wide and always safe: the pool re-forks lazily if any
+        planner synthesizes again afterwards.
+        """
+        workerpool.close_shared_pool()
+
+    def __enter__(self) -> "HAPPlanner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- main entry point ---------------------------------------------------------
     def plan(self) -> HAPPlan:

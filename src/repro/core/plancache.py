@@ -76,7 +76,9 @@ CACHE_VERSION = 2
 #: parallel runs must address the same entries), and the static-verifier flag
 #: (verification never changes the plan, so verified and unverified runs must
 #: share entries too).
-_NON_KEY_FIELDS = frozenset({"plan_cache", "planner_workers", "verify_after_plan"})
+_NON_KEY_FIELDS = frozenset(
+    {"plan_cache", "planner_workers", "synthesis_workers", "verify_after_plan"}
+)
 
 
 # -- key construction ---------------------------------------------------------------

@@ -26,6 +26,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import time as _time
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -35,8 +36,9 @@ from ..cluster.spec import ClusterSpec
 from ..graph.canonical import BlockRun, find_repeated_blocks
 from ..graph.graph import ComputationGraph
 from ..graph.ops import OpKind
+from . import workerpool
 from .config import SynthesisConfig
-from .costmodel import CostModel
+from .costmodel import CostModel, beam_rank_order
 from .instructions import CommInstruction, CompInstruction, Instruction
 from .pareto import ParetoFront
 from .program import DistributedProgram
@@ -311,6 +313,28 @@ class ProgramSynthesizer:
         self._reuse_records: Dict[int, _BlockRecord] = {}
         #: per-synthesize block-reuse accounting (inspectable after a run).
         self.reuse_stats: Dict[str, int] = {}
+        # -- parallel beam expansion (config.synthesis_workers) ----------------
+        # Wire tables give search states a process-independent encoding: rules
+        # as indexes into theory.rules, properties / communicated refs as
+        # indexes into deterministically sorted tables.  Workers forked from
+        # this process rebuild (or inherit, via copy-on-write) the identical
+        # tables, so encoded states and children round-trip exactly.
+        self._wire_ready = False
+        self._rule_wire_index: Dict[int, int] = {}
+        self._wire_props: Tuple[Property, ...] = ()
+        self._prop_wire_ids: Dict[Property, int] = {}
+        self._wire_refs: Tuple[str, ...] = ()
+        self._ref_wire_ids: Dict[str, int] = {}
+        #: per-frozenset memo of sorted wire-id tuples (see _encode_sets);
+        #: never stale — the wire tables are fixed for this synthesizer.
+        self._propenc_cache: Dict[FrozenSet[Property], Tuple[int, ...]] = {}
+        self._commenc_cache: Dict[FrozenSet[str], Tuple[int, ...]] = {}
+        #: monotone per-synthesize() serial; workers clear their search-local
+        #: tables when it advances (mirroring synthesize()'s own clears).
+        self._search_serial = 0
+        #: shared pool used by the current beam search (None = serial).
+        self._level_pool: Optional[workerpool.WorkerPool] = None
+        self._level_workers = 1
 
     def _intern_propset(self, fs: FrozenSet[Property]) -> Tuple[FrozenSet[Property], int]:
         entry = self._propset_intern.get(fs)
@@ -678,6 +702,7 @@ class ProgramSynthesizer:
         self._commset_intern.clear()
         self._prop_transition.clear()
         self._comm_transition.clear()
+        self._search_serial += 1
         if self.config.search_strategy == "beam":
             return self._beam_search(ratios)
         return self._astar_search(ratios)
@@ -739,18 +764,39 @@ class ProgramSynthesizer:
         self._bm_expanded = 0
         self._bm_generated = 1
 
-        if self.config.enable_block_reuse and self.config.follow_topological_order:
-            self._reuse_records = {}
-            self.reuse_stats = {"occurrences": 0, "replayed": 0, "recorded": 0, "fallbacks": 0}
-            for segment in self._reuse_schedule():
-                if segment[0] == "node":
-                    states = self._beam_level(states, segment[1], ratios, beam_width)
-                else:
-                    _, run, occ_idx = segment
-                    states = self._block_occurrence(states, run, occ_idx, ratios, beam_width)
-        else:
-            for node_name in self._topo_order:
-                states = self._beam_level(states, node_name, ratios, beam_width)
+        workers = self._parallel_workers()
+        if workers > 1:
+            # The fork snapshot must contain this synthesizer: registering it
+            # (re-)marks the payload, and the shared pool re-forks lazily at
+            # the first dispatch if its workers predate the registration.
+            workerpool.register_payload("synthesizer", self)
+            self._level_pool = workerpool.shared_pool(workers)
+            self._level_workers = workers
+        try:
+            if self.config.enable_block_reuse and self.config.follow_topological_order:
+                self._reuse_records = {}
+                self.reuse_stats = {"occurrences": 0, "replayed": 0, "recorded": 0, "fallbacks": 0}
+                segments = self._reuse_schedule()
+                index = 0
+                while index < len(segments):
+                    if segments[index][0] == "node":
+                        # Maximal run of plain levels: the unit the parallel
+                        # path shards (replayed/recorded occurrences never
+                        # touch the pool).
+                        run_names: List[str] = []
+                        while index < len(segments) and segments[index][0] == "node":
+                            run_names.append(segments[index][1])
+                            index += 1
+                        states = self._node_run(states, run_names, ratios, beam_width)
+                    else:
+                        _, run, occ_idx = segments[index]
+                        index += 1
+                        states = self._block_occurrence(states, run, occ_idx, ratios, beam_width)
+            else:
+                states = self._node_run(states, self._topo_order, ratios, beam_width)
+        finally:
+            self._level_pool = None
+            self._level_workers = 1
 
         complete = [s for s in states if self._is_complete(s)]
         if not complete:
@@ -816,26 +862,16 @@ class ProgramSynthesizer:
         # the open stage's critical path, with total device work as the
         # tie-breaker).  The A* heuristic term would be identical for all
         # states at the same level and would therefore make them tie.
-        if self.config.enable_vectorized_cost and len(children) > 1:
-            # Stacked ranking: max over the stored (closed + stage_comp)
-            # vectors equals _final_cost exactly (adding a constant is
-            # monotonic in IEEE arithmetic), the column-wise += matches
-            # Python's left-to-right sum(), and lexsort is stable like
-            # sorted() — so the surviving beam is bit-identical.
-            entries = list(children.values())
-            vectors = np.array([e[1] for e in entries])
-            final = vectors.max(axis=1)
-            stage = np.array([e[0].stage_comp for e in entries])
-            work = np.zeros(len(entries))
-            for j in range(stage.shape[1]):
-                work += stage[:, j]
-            ranked = [entries[i][0] for i in np.lexsort((work, final))]
-        else:
-            ranked = sorted(
-                (entry[0] for entry in children.values()),
-                key=lambda s: (self._final_cost(s), sum(s.stage_comp)),
-            )
-        survivors = ranked[:beam_width]
+        # beam_rank_order's stability makes insertion (= generation) order
+        # the final tie-breaker — the contract sharded expansion reproduces
+        # by reassembling worker children in serial generation order.
+        entries = list(children.values())
+        order = beam_rank_order(
+            [e[1] for e in entries],
+            [e[0].stage_comp for e in entries],
+            vectorized=self.config.enable_vectorized_cost,
+        )
+        survivors = [entries[i][0] for i in order[:beam_width]]
         if record_into is not None:
             origin = {id(s): i for i, s in enumerate(states)}
             for survivor in survivors:
@@ -847,6 +883,400 @@ class ProgramSynthesizer:
                 assert cursor is not None
                 record_into.append((origin[id(cursor)], tuple(reversed(chain))))
         return survivors
+
+    # -- parallel beam expansion (config.synthesis_workers) ----------------------------
+    def _parallel_workers(self) -> int:
+        """Effective worker count for this search (1 = stay serial)."""
+        requested = getattr(self.config, "synthesis_workers", 1)
+        if requested <= 1 or not workerpool.fork_available():
+            return 1
+        return workerpool.effective_workers(requested)
+
+    def _node_run(
+        self,
+        states: List[_SearchNode],
+        node_names: Sequence[str],
+        ratios: Sequence[float],
+        beam_width: int,
+    ) -> List[_SearchNode]:
+        """A maximal run of plain beam levels, serial or pool-sharded.
+
+        Template *recording* and replay for block reuse never reach here:
+        `_block_occurrence` calls `_beam_level` / `_replay_block` directly, so
+        only plain full-expansion levels are ever sharded.  Serial and
+        parallel runs produce the same survivors, so mixing them freely
+        across block boundaries keeps results bit-identical.
+        """
+        if self._level_pool is None:
+            for node_name in node_names:
+                states = self._beam_level(states, node_name, ratios, beam_width)
+            return states
+        return self._node_run_parallel(states, node_names, ratios, beam_width)
+
+    def _ensure_wire_tables(self) -> None:
+        """Build the process-independent encodings of rules and state sets.
+
+        Rules are indexed by position in ``theory.rules`` (the per-node /
+        per-ref candidate indexes reference those same objects, so every rule
+        a worker can apply has an index).  Properties and communicated refs
+        are indexed by deterministically sorted tables derived from the rule
+        set alone — ``(ref, kind, dim)`` is a complete key for a property —
+        so parent and forked workers agree on every id without coordination.
+        """
+        if self._wire_ready:
+            return
+        self._rule_wire_index = {id(r): i for i, r in enumerate(self.theory.rules)}
+        props: Set[Property] = set()
+        refs: Set[str] = set()
+        for rule in self.theory.rules:
+            props.update(rule.pre)
+            props.update(rule.post)
+            refs.update(rule.communicates)
+        self._wire_props = tuple(
+            sorted(
+                props,
+                key=lambda p: (
+                    p.ref,
+                    p.state.kind.value,
+                    -1 if p.state.dim is None else p.state.dim,
+                ),
+            )
+        )
+        self._prop_wire_ids = {p: i for i, p in enumerate(self._wire_props)}
+        self._wire_refs = tuple(sorted(refs))
+        self._ref_wire_ids = {r: i for i, r in enumerate(self._wire_refs)}
+        self._wire_ready = True
+
+    def _encode_sets(
+        self, properties: FrozenSet[Property], communicated: FrozenSet[str]
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Canonical wire-id tuples for one (property set, communicated set).
+
+        Memoized per frozenset: beam states reuse a small population of
+        interned sets, so the sort runs once per distinct set instead of once
+        per generated child, and the shared tuple objects let pickle's memo
+        table deduplicate them inside one shard reply.  The wire tables are
+        fixed per synthesizer, so the memo never goes stale.
+        """
+        pids = self._propenc_cache.get(properties)
+        if pids is None:
+            pids = tuple(sorted(self._prop_wire_ids[p] for p in properties))
+            self._propenc_cache[properties] = pids
+        cids = self._commenc_cache.get(communicated)
+        if cids is None:
+            cids = tuple(sorted(self._ref_wire_ids[c] for c in communicated))
+            self._commenc_cache[communicated] = cids
+        return pids, cids
+
+    def _encode_state(self, node: _SearchNode) -> Tuple:
+        """Compact, process-independent snapshot of one beam state."""
+        pids, cids = self._encode_sets(node.properties, node.communicated)
+        return (
+            pids,
+            node.completed,
+            cids,
+            node.closed_cost,
+            node.stage_comp,
+            node.completed_ideal,
+            node.depth,
+            node.topo_ptr,
+        )
+
+    def _decode_state(self, encoded: Tuple) -> _SearchNode:
+        """Worker-side inverse of `_encode_state` (a bare, parentless node)."""
+        prop_ids, completed, ref_ids, closed, stage, ideal, depth, topo_ptr = encoded
+        properties = frozenset(self._wire_props[i] for i in prop_ids)
+        communicated = frozenset(self._wire_refs[i] for i in ref_ids)
+        prop_sid = comm_sid = -1
+        if self._fast_sids:
+            properties, prop_sid = self._intern_propset(properties)
+            communicated, comm_sid = self._intern_commset(communicated)
+        return _SearchNode(
+            parent=None,
+            rule=None,
+            properties=properties,
+            completed=completed,
+            communicated=communicated,
+            closed_cost=closed,
+            stage_comp=stage,
+            completed_ideal=ideal,
+            depth=depth,
+            topo_ptr=topo_ptr,
+            prop_sid=prop_sid,
+            comm_sid=comm_sid,
+        )
+
+    def _expand_shard(
+        self,
+        node_name: str,
+        ratios: Tuple[float, ...],
+        shard: List[Tuple[int, Tuple]],
+        search_serial: int,
+    ) -> Tuple:
+        """Worker-side expansion of one shard of a beam level.
+
+        Runs the exact per-state loop of `_beam_level` (same rule order, same
+        `_expand_with_rule`, same memoized cost plans) over the shard and
+        returns every generated child *unmerged*, in generation order, in
+        columnar form: per-child key columns ``(property ids, completed,
+        comm ids)``, one packed double array holding ``closed ‖ stage_comp ‖
+        completed_ideal`` per child (the parent reads it zero-copy with
+        ``np.frombuffer``), int columns for ``depth``/``topo_ptr``/parent
+        index, and the applied-rule chains.  Together the columns are the
+        child's full `_encode_state` snapshot, so the parent can merge/rank
+        the level and feed the survivors straight into the next level's
+        shards without decoding or re-applying anything.  Merging must stay
+        in the parent: the epsilon dominance fold is order-dependent, so only
+        a single global left-to-right pass over all children reproduces the
+        serial survivors.
+        """
+        ratios = tuple(ratios)
+        if ratios != self._plan_ratios:
+            # Mirror synthesize(): cost plans are only valid for one ratio
+            # vector.  A long-lived worker serves every search the parent
+            # runs, so it re-mirrors the parent's per-call invalidation here.
+            self._rule_plans.clear()
+            self._rule_runtime.clear()
+            self._plan_ratios = ratios
+        if search_serial != self._search_serial:
+            self._propset_intern.clear()
+            self._commset_intern.clear()
+            self._prop_transition.clear()
+            self._comm_transition.clear()
+            self._search_serial = search_serial
+        self._ensure_wire_tables()
+        comp_rules = self.theory.comp_rules_by_node.get(node_name, [])
+        pids_col: List[Tuple[int, ...]] = []
+        completeds: List[int] = []
+        cids_col: List[Tuple[int, ...]] = []
+        floats = array("d")
+        depths: List[int] = []
+        topos: List[int] = []
+        parents: List[int] = []
+        chains: List[Tuple[int, ...]] = []
+        generated = 0
+        for parent_index, encoded in shard:
+            state = self._decode_state(encoded)
+            for rule in comp_rules:
+                for child in self._expand_with_rule(state, rule, ratios):
+                    generated += 1
+                    chain: List[int] = []
+                    cursor: Optional[_SearchNode] = child
+                    while cursor is not None and cursor.rule is not None:
+                        chain.append(self._rule_wire_index[id(cursor.rule)])
+                        cursor = cursor.parent
+                    chain.reverse()
+                    pids, cids = self._encode_sets(child.properties, child.communicated)
+                    pids_col.append(pids)
+                    completeds.append(child.completed)
+                    cids_col.append(cids)
+                    floats.append(child.closed_cost)
+                    floats.extend(child.stage_comp)
+                    floats.append(child.completed_ideal)
+                    depths.append(child.depth)
+                    topos.append(child.topo_ptr)
+                    parents.append(parent_index)
+                    chains.append(tuple(chain))
+        return pids_col, completeds, cids_col, floats, depths, topos, parents, chains, generated
+
+    def _node_run_parallel(
+        self,
+        states: List[_SearchNode],
+        node_names: Sequence[str],
+        ratios: Sequence[float],
+        beam_width: int,
+    ) -> List[_SearchNode]:
+        """Shard a run of beam levels across the pool; bit-identical to serial.
+
+        Levels are latency-bound (hundreds of sequential rounds of a few
+        milliseconds each on deep graphs), so the parent does as little as
+        possible per round.  Surviving states live in *carrier* form —
+        ``(encoded state, base-state index, rule-chain link)`` — between
+        levels: the worker-returned encodings feed the next level's shards
+        directly, and applied-rule history accumulates in O(1) cons cells.
+        Real `_SearchNode` chains are only materialized once, at the end of
+        the run (`_materialize_carrier`), for block occurrences and the final
+        completion/cost checks.
+
+        Determinism: each level's entering carriers are cut into contiguous
+        shards, so concatenating the workers' (generation-ordered) child
+        lists in shard order restores the exact serial generation order.  The
+        parent then replays the serial merge — the same left-to-right
+        epsilon-dominance fold over canonical state keys and the same stable
+        `beam_rank_order` ranking (see its tie-break contract) — over floats
+        the workers computed with the identical `_apply` arithmetic, so
+        costs, survivors, and the synthesized program are bit-identical.
+        """
+        pool = self._level_pool
+        assert pool is not None
+        self._ensure_wire_tables()
+        # Carrier: (encoded state, index into `states`, chain link), where a
+        # link is None (still the base state) or (parent link, rule tuple).
+        carriers: List[Tuple[Tuple, int, Optional[Tuple]]] = [
+            (self._encode_state(s), i, None) for i, s in enumerate(states)
+        ]
+        for node_name in node_names:
+            if not self.theory.comp_rules_by_node.get(node_name, []):
+                raise SynthesisError(f"no sharding rules for node {node_name!r}")
+            self._bm_expanded += len(carriers)
+            shard_count = min(self._level_workers, len(carriers))
+            base, extra = divmod(len(carriers), shard_count)
+            shards: List[List[Tuple[int, Tuple]]] = []
+            cursor = 0
+            for i in range(shard_count):
+                size = base + (1 if i < extra else 0)
+                shards.append(
+                    [(cursor + j, carriers[cursor + j][0]) for j in range(size)]
+                )
+                cursor += size
+            tasks = [
+                (node_name, tuple(ratios), shard, self._search_serial) for shard in shards
+            ]
+            try:
+                replies = pool.run_sharded(_expand_shard_task, "synthesizer", tasks)
+            except workerpool.WorkerCrash as exc:
+                raise SynthesisError(
+                    f"parallel beam expansion failed at node {node_name!r}: {exc}"
+                ) from exc
+            # Reassemble the columnar replies in shard order (= serial
+            # generation order) and run the single global merge.
+            pids_col: List[Tuple[int, ...]] = []
+            completeds: List[int] = []
+            cids_col: List[Tuple[int, ...]] = []
+            float_bufs: List[array] = []
+            depths: List[int] = []
+            topos: List[int] = []
+            parents: List[int] = []
+            chains: List[Tuple[int, ...]] = []
+            for reply in replies:
+                pids_col.extend(reply[0])
+                completeds.extend(reply[1])
+                cids_col.extend(reply[2])
+                float_bufs.append(reply[3])
+                depths.extend(reply[4])
+                topos.extend(reply[5])
+                parents.extend(reply[6])
+                chains.extend(reply[7])
+                self._bm_generated += reply[8]
+            count = len(pids_col)
+            if count == 0:
+                raise SynthesisError(
+                    f"beam search dead-ended at node {node_name!r}: no variant of the "
+                    "operator is reachable from the surviving states"
+                )
+            k = len(self._zero_stage)
+            cols = np.concatenate(
+                [np.frombuffer(buf, dtype=np.float64) for buf in float_bufs]
+            ).reshape(count, k + 2)
+            closed = cols[:, 0]
+            stage = cols[:, 1 : k + 1]
+            # One broadcast add reproduces the serial per-child Python adds
+            # bit for bit (both are IEEE double additions of the same values).
+            vectors = closed[:, None] + stage
+            limits = vectors + 1e-15
+            children: Dict[Tuple, int] = {}
+            for i in range(count):
+                key = (pids_col[i], completeds[i], cids_col[i])
+                j = children.get(key)
+                if j is not None and (vectors[j] <= limits[i]).all():
+                    continue
+                children[key] = i
+            rows = list(children.values())
+            order = beam_rank_order(
+                vectors[rows],
+                stage[rows],
+                vectorized=self.config.enable_vectorized_cost,
+            )
+            next_carriers: List[Tuple[Tuple, int, Optional[Tuple]]] = []
+            for oi in order[:beam_width]:
+                row = rows[oi]
+                encoded = (
+                    pids_col[row],
+                    completeds[row],
+                    cids_col[row],
+                    float(cols[row, 0]),
+                    tuple(cols[row, 1 : k + 1].tolist()),
+                    float(cols[row, k + 1]),
+                    depths[row],
+                    topos[row],
+                )
+                parent = carriers[parents[row]]
+                next_carriers.append((encoded, parent[1], (parent[2], chains[row])))
+            carriers = next_carriers
+        memo: Dict[int, _SearchNode] = {}
+        return [self._materialize_carrier(c, states, memo) for c in carriers]
+
+    def _dummy_chain(self, node: _SearchNode, rule_indexes: Sequence[int]) -> _SearchNode:
+        """Append rule-bearing placeholder nodes for an applied-rule segment.
+
+        The placeholders exist only so `instructions()` (and block-reuse
+        origin walks) can traverse the applied-rule history — their state
+        fields are never read, because expansion, completion checks, and
+        costs all look at a run's last node, which carries real decoded
+        fields.
+        """
+        for rule_index in rule_indexes:
+            node = _SearchNode(
+                parent=node,
+                rule=self.theory.rules[rule_index],
+                properties=frozenset(),
+                completed=0,
+                communicated=frozenset(),
+                closed_cost=0.0,
+                stage_comp=(),
+                completed_ideal=0.0,
+                depth=0,
+            )
+        return node
+
+    def _materialize_carrier(
+        self,
+        carrier: Tuple[Tuple, int, Optional[Tuple]],
+        base_states: List[_SearchNode],
+        memo: Dict[int, _SearchNode],
+    ) -> _SearchNode:
+        """Rebuild a real `_SearchNode` chain from one surviving carrier.
+
+        The final node gets the exact worker-computed fields via
+        `_decode_state` and hangs off a chain of rule-bearing placeholders
+        (`_dummy_chain`).  ``memo`` caches the materialized node per cons
+        cell (keyed by cell identity), so survivors sharing ancestry — the
+        common case after beam convergence — share one materialized prefix
+        instead of each rebuilding the full run history.
+        """
+        encoded, base_index, link = carrier
+        pending: List[Tuple] = []
+        node: Optional[_SearchNode] = None
+        cell = link
+        while cell is not None:
+            cached = memo.get(id(cell))
+            if cached is not None:
+                node = cached
+                break
+            pending.append(cell)
+            cell = cell[0]
+        if node is None:
+            node = base_states[base_index]
+        if not pending:
+            # Either no levels ran (node is the base state) or the whole
+            # lineage was already materialized; both are final states with
+            # real fields, so return them as-is.
+            return node
+        # Materialize shared ancestor cells fully (placeholder per rule).
+        for cell in reversed(pending[1:]):
+            node = self._dummy_chain(node, cell[1])
+            memo[id(cell)] = node
+        # The carrier's own last cell: all but the last rule become
+        # placeholders; the last rule lands on the decoded final node.  The
+        # cell is deliberately not memoized in this split form — other
+        # lineages passing through it need the full placeholder chain and
+        # will rebuild it (one cell's worth of nodes, not the whole run).
+        last_chain = pending[0][1]
+        node = self._dummy_chain(node, last_chain[:-1])
+        final = self._decode_state(encoded)
+        final.parent = node
+        final.rule = self.theory.rules[last_chain[-1]]
+        return final
 
     # -- repeated-block record/replay (config.enable_block_reuse) ----------------------
     def _reuse_schedule(self) -> List[Tuple]:
@@ -1494,6 +1924,18 @@ class ProgramSynthesizer:
                 "the background theory may be missing rules for some operator"
             )
         return self._result(best_complete, best_cost, expanded, generated, start)
+
+
+def _expand_shard_task(
+    synthesizer: "ProgramSynthesizer", args: Tuple
+) -> Tuple[List[Tuple], int]:
+    """Worker-pool handler for one beam-level shard (see ``_expand_shard``).
+
+    The synthesizer arrives as the pool's registered ``"synthesizer"``
+    payload — shipped to workers by fork copy-on-write, never pickled.
+    """
+    node_name, ratios, shard, search_serial = args
+    return synthesizer._expand_shard(node_name, ratios, shard, search_serial)
 
 
 def synthesize_program(

@@ -1,12 +1,15 @@
 """Parallel planning engine: multiprocess fan-out parity and cache safety.
 
-The contract of ``HierarchicalConfig.planner_workers`` is *bit-identical
-results*: the worker pool only relocates where the expensive grid cells run,
-never what they compute — same ``describe()``, same candidate and combo
-times, same reuse counters.  The shared :class:`DiskPlanCache` directory is
-the coordination channel between workers, so its concurrent-writer guarantee
-(atomic publish, last-writer-wins on a raced key, torn reads impossible) is
-load-bearing and stress-tested here.
+The contract of ``HierarchicalConfig.planner_workers`` and
+``SynthesisConfig.synthesis_workers`` is *bit-identical results*: the shared
+worker pool (:mod:`repro.core.workerpool`) only relocates where the expensive
+work runs — grid cells for the former, beam-level shards for the latter —
+never what it computes: same ``describe()``, same programs and costs, same
+search counters, same candidate and combo times, same reuse counters.  The
+shared :class:`DiskPlanCache` directory is the coordination channel between
+grid workers, so its concurrent-writer guarantee (atomic publish,
+last-writer-wins on a raced key, torn reads impossible) is load-bearing and
+stress-tested here.
 """
 
 import multiprocessing
@@ -24,9 +27,12 @@ from repro.core import (
     HierarchicalPlanner,
     InMemoryPlanCache,
     PlannerConfig,
+    ProgramSynthesizer,
     SynthesisConfig,
+    SynthesisError,
 )
-from repro.core.costmodel import CostModel
+from repro.core import workerpool
+from repro.core.costmodel import CostModel, beam_rank_order
 from repro.graph import ComputationGraph
 from repro.simulator import simulate_hierarchical
 
@@ -308,3 +314,246 @@ class TestProfileOnce:
         plain = simulate_hierarchical(plan, iterations=2)
         assert len(calls) == sum(len(s.chunks) for s in plan.stages)
         assert plain.total == baseline.total
+
+
+# -- parallel beam expansion (SynthesisConfig.synthesis_workers) ---------------------
+def _poisoned_shard_task(synthesizer, args):
+    """Stand-in shard handler that crashes inside the worker process.
+
+    Module-level so it pickles by qualified name: monkeypatching the real
+    handler with it poisons the dispatch without rebuilding the pool.
+    """
+    raise RuntimeError("poisoned shard")
+
+
+def synth_config(workers: int, reuse: bool = False, **kwargs) -> SynthesisConfig:
+    return SynthesisConfig(
+        search_strategy="beam",
+        beam_width=6,
+        synthesis_workers=workers,
+        enable_block_reuse=reuse,
+        **kwargs,
+    )
+
+
+def assert_synthesis_identical(a, b):
+    """Bit-identical program, cost, counters, and describe() output."""
+    assert a.cost == b.cost
+    assert a.expanded_states == b.expanded_states
+    assert a.generated_states == b.generated_states
+    assert a.program.describe() == b.program.describe()
+    assert [str(i) for i in a.program.instructions] == [
+        str(i) for i in b.program.instructions
+    ]
+
+
+@pytest.fixture(scope="module")
+def registry_models():
+    """Every registry model at test scale, on a 4-device heterogeneous cluster."""
+    from repro.models import MODEL_NAMES, BenchmarkScale, build_model
+
+    scale = BenchmarkScale("test", layer_fraction=0.1, batch_per_device=8)
+    return {name: build_model(name, num_gpus=4, scale=scale) for name in MODEL_NAMES}
+
+
+@pytest.fixture(scope="module")
+def four_hetero_cluster():
+    return make_cluster(("A100", "A100", "P100", "P100"), group=True)
+
+
+class TestParallelSynthesis:
+    """synthesis_workers relocates beam-level expansion, never the result."""
+
+    @pytest.mark.parametrize("model_name", ["vgg19", "vit", "bert_base", "bert_moe"])
+    @pytest.mark.parametrize("reuse", [False, True], ids=["plain", "block-reuse"])
+    def test_worker_counts_bit_identical_across_registry_models(
+        self, registry_models, four_hetero_cluster, model_name, reuse
+    ):
+        graph = registry_models[model_name]
+        serial = ProgramSynthesizer(
+            graph, four_hetero_cluster, synth_config(1, reuse)
+        ).synthesize()
+        for workers in (2, 4):
+            parallel = ProgramSynthesizer(
+                graph, four_hetero_cluster, synth_config(workers, reuse)
+            ).synthesize()
+            assert_synthesis_identical(serial, parallel)
+
+    def test_parallel_composes_with_planner_workers(self, forward, hetero_cluster):
+        """Nested pools: grid cells budget their own beam workers."""
+        serial = HierarchicalPlanner(forward, hetero_cluster, hier_config()).plan()
+        config = hier_config(planner_workers=2)
+        config.planner.synthesis.synthesis_workers = 2
+        nested = HierarchicalPlanner(forward, hetero_cluster, config).plan()
+        assert_plans_identical(serial, nested)
+
+    def test_parallel_levels_actually_run(self, forward, hetero_cluster):
+        """The parity above must not pass vacuously: the pool really forks."""
+        workerpool.close_shared_pool()
+        before = workerpool.pool_spawn_count()
+        result = ProgramSynthesizer(
+            forward, hetero_cluster, synth_config(2)
+        ).synthesize()
+        assert result.program.instructions
+        assert workerpool.pool_spawn_count() == before + 1
+
+    def test_crashed_worker_raises_synthesis_error(
+        self, forward, hetero_cluster, monkeypatch
+    ):
+        """A poisoned shard surfaces as SynthesisError — never a hang."""
+        import repro.core.synthesizer as synthesizer_module
+
+        monkeypatch.setattr(
+            synthesizer_module, "_expand_shard_task", _poisoned_shard_task
+        )
+        synth = ProgramSynthesizer(forward, hetero_cluster, synth_config(2))
+        with pytest.raises(SynthesisError, match="parallel beam expansion failed"):
+            synth.synthesize()
+        # The broken pool re-forks lazily: the next search works again.
+        monkeypatch.undo()
+        result = ProgramSynthesizer(
+            forward, hetero_cluster, synth_config(2)
+        ).synthesize()
+        serial = ProgramSynthesizer(
+            forward, hetero_cluster, synth_config(1)
+        ).synthesize()
+        assert_synthesis_identical(serial, result)
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError, match="synthesis_workers"):
+            SynthesisConfig(synthesis_workers=0)
+
+    def test_worker_count_excluded_from_plan_cache_keys(self, forward, hetero_cluster):
+        from repro.core.plancache import plan_key
+
+        serial = hier_config()
+        parallel = hier_config()
+        parallel.planner.synthesis.synthesis_workers = 4
+        assert plan_key("k", hetero_cluster, serial) == plan_key(
+            "k", hetero_cluster, parallel
+        )
+
+
+class TestBeamRankOrderTieBreak:
+    """The documented tie-break contract of costmodel.beam_rank_order."""
+
+    def test_vectorized_matches_scalar(self):
+        vectors = [(3.0, 1.0), (2.0, 3.0), (3.0, 1.0), (1.0, 2.0)]
+        stages = [(1.0, 0.5), (0.5, 1.0), (0.25, 0.25), (2.0, 0.0)]
+        assert beam_rank_order(vectors, stages, vectorized=True) == beam_rank_order(
+            vectors, stages, vectorized=False
+        )
+
+    def test_equal_keys_keep_input_order(self):
+        """Stability: exact ties survive in generation order, both paths."""
+        vectors = [(2.0, 1.0)] * 4
+        stages = [(0.5, 0.5)] * 4
+        for vectorized in (True, False):
+            assert beam_rank_order(vectors, stages, vectorized=vectorized) == [
+                0,
+                1,
+                2,
+                3,
+            ]
+
+    def test_tie_resolution_depends_on_input_order(self):
+        """Reassembling children out of generation order would drift ties.
+
+        This is exactly why sharded expansion concatenates worker results in
+        shard (= serial generation) order before ranking.
+        """
+        tied_a = (2.0, 1.0)
+        tied_b = (1.0, 2.0)  # same max, same sum — a pure tie
+        stages = [(0.5, 0.5), (0.5, 0.5)]
+        for vectorized in (True, False):
+            forward_order = beam_rank_order([tied_a, tied_b], stages, vectorized)
+            swapped_order = beam_rank_order([tied_b, tied_a], stages, vectorized)
+            assert forward_order == [0, 1] and swapped_order == [0, 1]
+        # The *identity* of the winner changed with the input order: position
+        # 0 wins each time, but it holds a different candidate.
+
+    def test_primary_key_then_work_tie_break(self):
+        vectors = [(4.0, 1.0), (2.0, 3.0), (3.0, 2.0)]
+        stages = [(1.0, 1.0), (3.0, 1.0), (0.5, 0.5)]
+        # finals: 4.0, 3.0, 3.0 -> candidates 1 and 2 tie on work? no:
+        # works: 2.0, 4.0, 1.0 -> order: 2 (3.0/1.0), 1 (3.0/4.0), 0 (4.0)
+        for vectorized in (True, False):
+            assert beam_rank_order(vectors, stages, vectorized=vectorized) == [2, 1, 0]
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_inputs_rank_identically_on_both_paths(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        count = 17
+        vectors = []
+        stages = []
+        for _ in range(count):
+            stage = tuple(rng.choice([0.25, 0.5, 1.0, 2.0]) for _ in range(4))
+            closed = rng.choice([0.0, 1.0, 1.5])
+            vectors.append(tuple(closed + s for s in stage))
+            stages.append(stage)
+        assert beam_rank_order(vectors, stages, True) == beam_rank_order(
+            vectors, stages, False
+        )
+
+
+class TestSharedWorkerPool:
+    """core/workerpool.py: lifecycle, dispatch, and plan()-to-plan() reuse."""
+
+    def test_two_plans_reuse_one_pool(self, forward, hetero_cluster):
+        """Regression: plan() used to fork a fresh executor per call."""
+        workerpool.close_shared_pool()
+        before = workerpool.pool_spawn_count()
+        planner = HierarchicalPlanner(
+            forward, hetero_cluster, hier_config(planner_workers=2)
+        )
+        first = planner.plan()
+        after_first = workerpool.pool_spawn_count()
+        assert after_first == before + 1  # exactly one fork, lazily
+        second = planner.plan()
+        assert workerpool.pool_spawn_count() == after_first  # no re-fork
+        assert_plans_identical(first, second)
+        planner.close()
+        assert not workerpool.shared_pool(2).alive
+
+    def test_run_sharded_preserves_task_order(self):
+        with workerpool.WorkerPool(3) as pool:
+            results = pool.run_tasks(_echo_task, None, [(i,) for i in range(7)])
+            assert results == [(i,) for i in range(7)]
+            sharded = pool.run_sharded(_echo_task, None, [("a",), ("b",)])
+            assert sharded == [("a",), ("b",)]
+
+    def test_crash_marks_pool_broken_and_recovers(self):
+        with workerpool.WorkerPool(2) as pool:
+            with pytest.raises(workerpool.WorkerCrash, match="boom"):
+                pool.run_sharded(_crash_task, None, [(1,), (2,)])
+            assert not pool.alive
+            assert pool.run_sharded(_echo_task, None, [("ok",)]) == [("ok",)]
+
+    def test_context_manager_and_validation(self):
+        pool = workerpool.WorkerPool(2)
+        with pool:
+            with pytest.raises(ValueError, match="tasks"):
+                pool.run_sharded(_echo_task, None, [(1,), (2,), (3,)])
+        assert not pool.alive
+
+    def test_explicit_budget_clamps_requests(self):
+        import repro.core.workerpool as wp
+
+        original = wp._budget
+        try:
+            assert wp.effective_workers(64) == 64  # top-level: honored as-is
+            wp.set_process_budget(2)
+            assert wp.effective_workers(64) == 2  # nested: clamped
+            assert wp.effective_workers(1) == 1
+        finally:
+            wp._budget = original
+
+
+def _echo_task(_payload, args):
+    return args
+
+
+def _crash_task(_payload, args):
+    raise ValueError("boom")
